@@ -1,0 +1,48 @@
+// Ablation A (DESIGN.md): delegation chunk size vs I/O merge ratio and
+// throughput. The paper fixes the chunk at 16 MB; this sweep shows the
+// design space — tiny chunks behave like no delegation (a client's
+// allocations interleave with others'), huge chunks add little once the
+// client's write window is covered.
+#include "common.hpp"
+
+using namespace redbud;
+using namespace redbud::workload;
+using core::Protocol;
+
+int main() {
+  core::print_banner(std::cout,
+                     "Ablation — space delegation chunk size (xcdn-32KB)",
+                     "merge ratio and throughput vs chunk size");
+
+  core::Table table(
+      {"chunk", "merge ratio", "ops/s", "pool swaps", "delegate RPCs"});
+
+  for (std::uint64_t mib : {1ull, 4ull, 16ull, 64ull}) {
+    auto params = bench::paper_testbed(Protocol::kRedbudDelayed);
+    params.redbud.client.delegation = true;
+    params.redbud.client.chunk_blocks = (mib << 20) / storage::kBlockSize;
+    core::Testbed bed(params);
+    bed.start();
+    XcdnWorkload w(bench::xcdn_params(32));
+    auto opt = bench::paper_run();
+    auto* cluster = bed.cluster();
+    opt.on_measure_start = [cluster] { cluster->array().reset_stats(); };
+    auto r = run_workload(bed, w, opt);
+
+    std::uint64_t swaps = 0;
+    std::uint64_t delegate_rpcs = 0;
+    for (std::size_t i = 0; i < cluster->nclients(); ++i) {
+      swaps += cluster->client(i).space_pool().swaps();
+    }
+    delegate_rpcs = cluster->mds().grants().size();
+    table.add_row({std::to_string(mib) + " MiB",
+                   core::Table::fmt(cluster->array().write_merge_ratio(), 3),
+                   core::Table::fmt(r.ops_per_sec, 0), std::to_string(swaps),
+                   std::to_string(delegate_rpcs)});
+    std::fprintf(stderr, "  done: %lluMiB merge=%.3f\n",
+                 static_cast<unsigned long long>(mib),
+                 cluster->array().write_merge_ratio());
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation B (DESIGN.md): the adaptive commit pool's parameters — the
+// queue bound (QueueLen_max, which also sets rho) and the thread cap
+// (ThreadNums_max). Small queues throttle writers early; small thread
+// caps leave commit RPCs under-parallelised; the paper's 9/450 sits on
+// the flat part of both curves.
+#include "common.hpp"
+
+using namespace redbud;
+using namespace redbud::workload;
+using core::Protocol;
+
+int main() {
+  core::print_banner(std::cout,
+                     "Ablation — commit pool sizing (xcdn-32KB)",
+                     "ThreadNums_max x QueueLen_max sweep");
+
+  core::Table table({"max threads", "max queue", "ops/s",
+                     "mean commit latency", "mean compound degree"});
+
+  for (std::uint32_t threads : {3u, 9u, 18u}) {
+    for (std::size_t queue : {50ul, 450ul, 2000ul}) {
+      auto params = bench::paper_testbed(Protocol::kRedbudDelayed);
+      params.redbud.client.pool.max_threads = threads;
+      params.redbud.client.pool.max_queue_len = queue;
+      core::Testbed bed(params);
+      bed.start();
+      XcdnWorkload w(bench::xcdn_params(32));
+      auto opt = bench::paper_run();
+      auto r = run_workload(bed, w, opt);
+
+      auto* cluster = bed.cluster();
+      double commit_ms = 0.0;
+      double degree = 0.0;
+      for (std::size_t i = 0; i < cluster->nclients(); ++i) {
+        commit_ms +=
+            cluster->client(i).commit_queue().commit_latency().mean().to_millis();
+        degree += cluster->client(i).commit_pool().mean_degree();
+      }
+      commit_ms /= double(cluster->nclients());
+      degree /= double(cluster->nclients());
+      table.add_row({std::to_string(threads), std::to_string(queue),
+                     core::Table::fmt(r.ops_per_sec, 0),
+                     core::Table::fmt(commit_ms, 2) + " ms",
+                     core::Table::fmt(degree, 2)});
+      std::fprintf(stderr, "  done: t=%u q=%zu ops=%.0f\n", threads, queue,
+                   r.ops_per_sec);
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

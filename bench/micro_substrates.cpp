@@ -1,0 +1,169 @@
+// Substrate microbenchmarks (google-benchmark): the data structures and
+// kernel paths every experiment leans on.
+#include <benchmark/benchmark.h>
+
+#include "client/commit_queue.hpp"
+#include "client/page_cache.hpp"
+#include "mds/alloc_group.hpp"
+#include "mds/btree.hpp"
+#include "sim/random.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace redbud;
+
+void BM_BPlusTreeInsert(benchmark::State& state) {
+  const auto n = std::uint64_t(state.range(0));
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    mds::BPlusTree t;
+    std::vector<std::uint64_t> keys(n);
+    for (auto& k : keys) k = rng.next_u64();
+    state.ResumeTiming();
+    for (auto k : keys) benchmark::DoNotOptimize(t.insert(k, k));
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * std::int64_t(n));
+}
+BENCHMARK(BM_BPlusTreeInsert)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BPlusTreeLookup(benchmark::State& state) {
+  const auto n = std::uint64_t(state.range(0));
+  sim::Rng rng(2);
+  mds::BPlusTree t;
+  std::vector<std::uint64_t> keys(n);
+  for (auto& k : keys) {
+    k = rng.next_u64();
+    (void)t.insert(k, k);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.find(keys[i++ % n]));
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_BPlusTreeLookup)->Arg(10000)->Arg(100000);
+
+void BM_BPlusTreeMixed(benchmark::State& state) {
+  sim::Rng rng(3);
+  mds::BPlusTree t;
+  for (auto _ : state) {
+    const auto k = rng.next_below(100000);
+    switch (rng.next_below(3)) {
+      case 0:
+        benchmark::DoNotOptimize(t.insert(k, k));
+        break;
+      case 1:
+        benchmark::DoNotOptimize(t.erase(k));
+        break;
+      default:
+        benchmark::DoNotOptimize(t.lower_bound(k));
+        break;
+    }
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_BPlusTreeMixed);
+
+void BM_AllocGroupChurn(benchmark::State& state) {
+  sim::Rng rng(4);
+  mds::AllocGroup ag(0, 0, 1 << 20);
+  std::vector<mds::FreeExtent> held;
+  for (auto _ : state) {
+    if (held.empty() || rng.bernoulli(0.6)) {
+      if (auto got = ag.alloc(1 + rng.next_below(64),
+                              mds::AllocPolicy::kNextFit)) {
+        held.push_back(*got);
+      }
+    } else {
+      const auto i = rng.next_below(held.size());
+      ag.free(held[i].offset, held[i].nblocks);
+      held[i] = held.back();
+      held.pop_back();
+    }
+  }
+  for (const auto& h : held) ag.free(h.offset, h.nblocks);
+  state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_AllocGroupChurn);
+
+void BM_PageCacheHit(benchmark::State& state) {
+  client::PageCache cache(1 << 16);
+  for (std::uint64_t b = 0; b < (1 << 15); ++b) cache.put_clean(1, b, b + 1);
+  sim::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.get(1, rng.next_below(1 << 15)));
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_PageCacheHit);
+
+void BM_CommitQueueAddCheckout(benchmark::State& state) {
+  sim::Simulation sim;
+  client::CommitQueue q(sim);
+  sim::Rng rng(6);
+  std::uint64_t file = 1;
+  for (auto _ : state) {
+    for (int i = 0; i < 16; ++i) {
+      sim::SimPromise<sim::Done> data(sim);
+      data.set_value(sim::Done{});
+      std::vector<sim::SimFuture<sim::Done>> futs{data.future()};
+      q.add(file++, {net::Extent{0, 4, {0, 100}}},
+            std::vector<storage::ContentToken>(4, 1), 16384, std::move(futs));
+    }
+    auto batch = q.checkout(16);
+    for (auto& task : batch) q.ack(task);
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * 16);
+}
+BENCHMARK(BM_CommitQueueAddCheckout);
+
+void BM_EventLoopThroughput(benchmark::State& state) {
+  // Cost of scheduling + dispatching one simulation event.
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulation sim;
+    constexpr int kEvents = 10000;
+    int fired = 0;
+    for (int i = 0; i < kEvents; ++i) {
+      sim.call_at(sim::SimTime::micros(i), [&fired] { ++fired; });
+    }
+    state.ResumeTiming();
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * 10000);
+}
+BENCHMARK(BM_EventLoopThroughput);
+
+void BM_CoroutineSpawnJoin(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulation sim;
+    constexpr int kProcs = 1000;
+    state.ResumeTiming();
+    for (int i = 0; i < kProcs; ++i) {
+      sim.spawn([](sim::Simulation& s) -> sim::Process {
+        co_await s.delay(sim::SimTime::micros(1));
+      }(sim));
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * 1000);
+}
+BENCHMARK(BM_CoroutineSpawnJoin);
+
+void BM_RngZipf(benchmark::State& state) {
+  sim::Rng rng(7);
+  sim::Zipf zipf(10000, 0.9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_RngZipf);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,521 @@
+#include "client/client_fs.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace redbud::client {
+
+using net::Status;
+using redbud::sim::Done;
+using redbud::sim::Process;
+using redbud::sim::SimFuture;
+using redbud::sim::SimPromise;
+using storage::ContentToken;
+using storage::kBlockSize;
+
+namespace {
+// Block span covering [offset, offset + nbytes).
+struct BlockRange {
+  std::uint64_t first;
+  std::uint32_t count;
+};
+BlockRange block_range(std::uint64_t offset, std::uint32_t nbytes) {
+  const std::uint64_t first = offset / kBlockSize;
+  const std::uint64_t last = (offset + nbytes + kBlockSize - 1) / kBlockSize;
+  return {first, static_cast<std::uint32_t>(last - first)};
+}
+}  // namespace
+
+ClientFs::ClientFs(redbud::sim::Simulation& sim, net::Network& network,
+                   net::RpcEndpoint& mds, storage::DiskArray& array,
+                   ClientFsParams params)
+    : sim_(&sim),
+      mds_(&mds),
+      array_(&array),
+      params_(params),
+      node_(network.add_node()),
+      endpoint_(sim, network, node_),
+      cache_(params.cache_pages),
+      pool_(params.chunk_blocks),
+      queue_(sim),
+      compound_(params.compound),
+      pool_daemons_(sim, queue_, endpoint_, mds, compound_, cache_,
+                    params.pool),
+      refill_done_(sim) {}
+
+void ClientFs::start() {
+  assert(!started_);
+  started_ = true;
+  if (params_.mode == CommitMode::kDelayed) pool_daemons_.start();
+}
+
+// --- public API -----------------------------------------------------------------
+
+SimFuture<net::FileId> ClientFs::create(net::DirId dir, std::string name) {
+  SimPromise<net::FileId> p(*sim_);
+  auto fut = p.future();
+  sim_->spawn(create_proc(dir, std::move(name), std::move(p)));
+  return fut;
+}
+
+SimFuture<OpenResult> ClientFs::open(net::DirId dir, std::string name) {
+  SimPromise<OpenResult> p(*sim_);
+  auto fut = p.future();
+  sim_->spawn(open_proc(dir, std::move(name), std::move(p)));
+  return fut;
+}
+
+SimFuture<Status> ClientFs::write(net::FileId file, std::uint64_t offset,
+                                  std::uint32_t nbytes) {
+  SimPromise<Status> p(*sim_);
+  auto fut = p.future();
+  sim_->spawn(write_proc(file, offset, nbytes, std::move(p)));
+  return fut;
+}
+
+SimFuture<ReadResult> ClientFs::read(net::FileId file, std::uint64_t offset,
+                                     std::uint32_t nbytes) {
+  SimPromise<ReadResult> p(*sim_);
+  auto fut = p.future();
+  sim_->spawn(read_proc(file, offset, nbytes, std::move(p)));
+  return fut;
+}
+
+SimFuture<Status> ClientFs::fsync(net::FileId file) {
+  SimPromise<Status> p(*sim_);
+  auto fut = p.future();
+  sim_->spawn(fsync_proc(file, std::move(p)));
+  return fut;
+}
+
+SimFuture<Status> ClientFs::close(net::FileId file) {
+  // Delayed commit's headline latency win: close does not wait for the
+  // file's pending commits; the file system keeps the order in background.
+  (void)file;
+  SimPromise<Status> p(*sim_);
+  auto fut = p.future();
+  p.set_value(Status::kOk);
+  return fut;
+}
+
+SimFuture<Status> ClientFs::remove(net::DirId dir, std::string name) {
+  SimPromise<Status> p(*sim_);
+  auto fut = p.future();
+  sim_->spawn(remove_proc(dir, std::move(name), std::move(p)));
+  return fut;
+}
+
+ContentToken ClientFs::expected_token(net::FileId file,
+                                      std::uint64_t block) const {
+  auto fit = files_.find(file);
+  if (fit == files_.end()) return storage::kUnwrittenToken;
+  auto vit = fit->second.versions.find(block);
+  if (vit == fit->second.versions.end()) return storage::kUnwrittenToken;
+  return storage::make_token(file, block, vit->second);
+}
+
+std::uint64_t ClientFs::known_size(net::FileId file) const {
+  auto fit = files_.find(file);
+  return fit == files_.end() ? 0 : fit->second.size_bytes;
+}
+
+// --- processes ------------------------------------------------------------------
+
+Process ClientFs::create_proc(net::DirId dir, std::string name,
+                              SimPromise<net::FileId> p) {
+  co_await sim_->delay(params_.cpu_op);
+  net::RequestBody req = net::CreateReq{dir, std::move(name)};
+  auto fut = endpoint_.call(*mds_, std::move(req));
+  auto resp = co_await fut;
+  const auto& cr = std::get<net::CreateResp>(resp);
+  if (cr.status == Status::kOk) files_[cr.file];  // fresh state
+  p.set_value(cr.status == Status::kOk ? cr.file : net::kInvalidFile);
+}
+
+Process ClientFs::open_proc(net::DirId dir, std::string name,
+                            SimPromise<OpenResult> p) {
+  co_await sim_->delay(params_.cpu_op);
+  net::RequestBody req = net::LookupReq{dir, std::move(name)};
+  auto fut = endpoint_.call(*mds_, std::move(req));
+  auto resp = co_await fut;
+  const auto& lr = std::get<net::LookupResp>(resp);
+  OpenResult out;
+  out.status = lr.status;
+  out.file = lr.file;
+  out.size_bytes = lr.size_bytes;
+  if (lr.status == Status::kOk) {
+    auto& st = state(lr.file);
+    st.size_bytes = std::max(st.size_bytes, lr.size_bytes);
+  }
+  p.set_value(out);
+}
+
+void ClientFs::cache_layout(FileState& st,
+                            const std::vector<net::Extent>& extents) {
+  for (const auto& e : extents) st.layout[e.file_block] = e;
+}
+
+Process ClientFs::allocate_space(net::FileId file, std::uint64_t file_block,
+                                 std::uint32_t nblocks,
+                                 std::vector<net::Extent>* out,
+                                 SimPromise<Status> p) {
+  // Reuse extents already known from the layout cache (overwrites), and
+  // collect the holes that still need fresh space.
+  struct Hole {
+    std::uint64_t block;
+    std::uint32_t count;
+  };
+  std::vector<Hole> holes;
+  {
+    FileState& st = state(file);
+    std::uint64_t cursor = file_block;
+    const std::uint64_t end = file_block + nblocks;
+    while (cursor < end) {
+      // Find a cached extent containing `cursor`.
+      const net::Extent* covering = nullptr;
+      auto it = st.layout.upper_bound(cursor);
+      if (it != st.layout.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second.end_block() > cursor) covering = &prev->second;
+      }
+      if (covering) {
+        const std::uint64_t take =
+            std::min<std::uint64_t>(end, covering->end_block()) - cursor;
+        net::Extent e;
+        e.file_block = cursor;
+        e.nblocks = static_cast<std::uint32_t>(take);
+        e.addr.device = covering->addr.device;
+        e.addr.block =
+            covering->addr.block + (cursor - covering->file_block);
+        out->push_back(e);
+        cursor += take;
+      } else {
+        const std::uint64_t next =
+            it == st.layout.end() ? end : std::min(end, it->first);
+        holes.push_back(Hole{cursor, static_cast<std::uint32_t>(next - cursor)});
+        cursor = next;
+      }
+    }
+  }
+
+  for (const auto& hole : holes) {
+    if (params_.delegation && pool_.eligible(hole.count)) {
+      // Local allocation from the delegated double space pool.
+      for (;;) {
+        if (auto got = pool_.alloc(hole.count)) {
+          net::Extent e;
+          e.file_block = hole.block;
+          e.nblocks = hole.count;
+          e.addr = got->addr;
+          out->push_back(e);
+          break;
+        }
+        if (!refill_in_progress_) {
+          refill_in_progress_ = true;
+          sim_->spawn(refill_proc());
+        }
+        co_await refill_done_.wait();
+      }
+      // Keep the standby pool filled off the critical path.
+      if (pool_.needs_refill() && !refill_in_progress_) {
+        refill_in_progress_ = true;
+        sim_->spawn(refill_proc());
+      }
+      if (pool_.has_leftover()) sim_->spawn(return_leftovers_proc());
+    } else {
+      // Central allocation at the MDS.
+      net::RequestBody req =
+          net::LayoutGetReq{file, hole.block, hole.count, true};
+      auto fut = endpoint_.call(*mds_, std::move(req));
+      auto resp = co_await fut;
+      const auto& lg = std::get<net::LayoutGetResp>(resp);
+      if (lg.status != Status::kOk) {
+        p.set_value(lg.status);
+        co_return;
+      }
+      for (const auto& e : lg.extents) out->push_back(e);
+    }
+  }
+
+  std::sort(out->begin(), out->end(),
+            [](const net::Extent& a, const net::Extent& b) {
+              return a.file_block < b.file_block;
+            });
+  cache_layout(state(file), *out);
+  p.set_value(Status::kOk);
+}
+
+Process ClientFs::refill_proc() {
+  net::RequestBody req = net::DelegateReq{params_.chunk_blocks};
+  auto fut = endpoint_.call(*mds_, std::move(req));
+  auto resp = co_await fut;
+  const auto& dr = std::get<net::DelegateResp>(resp);
+  refill_in_progress_ = false;
+  if (dr.status == Status::kOk) {
+    pool_.install_chunk(mds::PhysExtent{dr.start, dr.nblocks});
+  }
+  refill_done_.notify_all();
+}
+
+Process ClientFs::return_leftovers_proc() {
+  while (auto leftover = pool_.take_leftover()) {
+    net::RequestBody req =
+        net::DelegateReturnReq{leftover->addr, leftover->nblocks};
+    auto fut = endpoint_.call(*mds_, std::move(req));
+    (void)co_await fut;
+  }
+}
+
+Process ClientFs::write_proc(net::FileId file, std::uint64_t offset,
+                             std::uint32_t nbytes, SimPromise<Status> p) {
+  ++writes_;
+  bytes_written_ += nbytes;
+  const BlockRange range = block_range(offset, nbytes);
+  co_await sim_->delay(params_.cpu_op +
+                       params_.cpu_page * std::int64_t(range.count));
+
+  // Content tokens: one fresh version per page touched.
+  std::vector<ContentToken> tokens(range.count);
+  {
+    FileState& st = state(file);
+    for (std::uint32_t i = 0; i < range.count; ++i) {
+      const std::uint64_t blk = range.first + i;
+      const std::uint64_t ver = ++st.versions[blk];
+      tokens[i] = storage::make_token(file, blk, ver);
+      cache_.put_dirty(file, blk, tokens[i]);
+    }
+    st.size_bytes = std::max(st.size_bytes, offset + nbytes);
+  }
+
+  // Physical space.
+  std::vector<net::Extent> extents;
+  {
+    SimPromise<Status> ap(*sim_);
+    auto afut = ap.future();
+    sim_->spawn(
+        allocate_space(file, range.first, range.count, &extents, std::move(ap)));
+    const Status ast = co_await afut;
+    if (ast != Status::kOk) {
+      p.set_value(ast);
+      co_return;
+    }
+  }
+
+  // Writeback ordering: wait out any in-flight array write that still
+  // covers one of this write's pages (rewriting a page whose previous
+  // writeback has not completed could be reordered by the elevator).
+  {
+    std::vector<SimFuture<Done>> waits;
+    FileState& st = state(file);
+    for (std::uint32_t i = 0; i < range.count; ++i) {
+      auto it = st.writeback.find(range.first + i);
+      if (it == st.writeback.end()) continue;
+      if (it->second.ready()) {
+        st.writeback.erase(it);
+      } else {
+        waits.push_back(it->second);
+      }
+    }
+    for (auto& f : waits) co_await f;
+  }
+
+  // Issue writepage: one array write per extent.
+  std::vector<SimFuture<Done>> data_futures;
+  {
+    std::size_t ti = 0;
+    FileState& st = state(file);
+    for (const auto& e : extents) {
+      std::vector<ContentToken> slice(tokens.begin() + std::ptrdiff_t(ti),
+                                      tokens.begin() +
+                                          std::ptrdiff_t(ti + e.nblocks));
+      auto fut = array_->write(e.addr, e.nblocks, std::move(slice));
+      for (std::uint32_t b = 0; b < e.nblocks; ++b) {
+        st.writeback[e.file_block + b] = fut;
+      }
+      data_futures.push_back(std::move(fut));
+      ti += e.nblocks;
+    }
+    assert(ti == tokens.size());
+  }
+
+  const std::uint64_t new_size = state(file).size_bytes;
+
+  switch (params_.mode) {
+    case CommitMode::kSync: {
+      // Ordered writes on the critical path: data durable first, then the
+      // metadata commit RPC, then return.
+      for (auto& f : data_futures) co_await f;
+      net::CommitReq creq;
+      creq.entries.push_back(
+          net::CommitEntry{file, extents, new_size, tokens});
+      net::RequestBody req = std::move(creq);
+      auto fut = endpoint_.call(*mds_, std::move(req));
+      (void)co_await fut;
+      for (std::uint32_t i = 0; i < range.count; ++i) {
+        cache_.mark_clean(file, range.first + i);
+      }
+      p.set_value(Status::kOk);
+      break;
+    }
+    case CommitMode::kDelayed: {
+      // Backpressure: the paper's adaptive pool is parameterised by
+      // QueueLen_max; incoming commit requests slow down when the queue
+      // is full ("slowing down the incoming commit requests", §IV-B).
+      while (queue_.size() >= params_.pool.max_queue_len) {
+        co_await queue_.space().wait();
+      }
+      // Hand order-keeping to the file system and return immediately.
+      queue_.add(file, std::move(extents), std::move(tokens), new_size,
+                 std::move(data_futures));
+      p.set_value(Status::kOk);
+      break;
+    }
+    case CommitMode::kUnordered: {
+      // Deliberately broken: the commit races the data write. Used only to
+      // demonstrate the crash inconsistency ordered writes prevent.
+      net::CommitReq creq;
+      creq.entries.push_back(
+          net::CommitEntry{file, extents, new_size, tokens});
+      net::RequestBody req = std::move(creq);
+      auto fut = endpoint_.call(*mds_, std::move(req));
+      (void)co_await fut;
+      p.set_value(Status::kOk);
+      break;
+    }
+  }
+}
+
+Process ClientFs::read_proc(net::FileId file, std::uint64_t offset,
+                            std::uint32_t nbytes, SimPromise<ReadResult> p) {
+  ++reads_;
+  bytes_read_ += nbytes;
+  const BlockRange range = block_range(offset, nbytes);
+  co_await sim_->delay(params_.cpu_op +
+                       params_.cpu_page * std::int64_t(range.count));
+
+  ReadResult out;
+  out.tokens.assign(range.count, storage::kUnwrittenToken);
+  std::vector<bool> have(range.count, false);
+  bool all_hit = true;
+  for (std::uint32_t i = 0; i < range.count; ++i) {
+    if (auto tok = cache_.get(file, range.first + i)) {
+      out.tokens[i] = *tok;
+      have[i] = true;
+    } else {
+      all_hit = false;
+    }
+  }
+  if (all_hit) {
+    p.set_value(std::move(out));
+    co_return;
+  }
+
+  // Make sure the layout cache covers the requested range; ask the MDS for
+  // the committed layout when it does not.
+  {
+    FileState& st = state(file);
+    bool covered = true;
+    for (std::uint32_t i = 0; i < range.count && covered; ++i) {
+      if (have[i]) continue;
+      const std::uint64_t blk = range.first + i;
+      auto it = st.layout.upper_bound(blk);
+      if (it == st.layout.begin() ||
+          std::prev(it)->second.end_block() <= blk) {
+        covered = false;
+      }
+    }
+    if (!covered) {
+      net::RequestBody req =
+          net::LayoutGetReq{file, range.first, range.count, false};
+      auto fut = endpoint_.call(*mds_, std::move(req));
+      auto resp = co_await fut;
+      const auto& lg = std::get<net::LayoutGetResp>(resp);
+      if (lg.status != Status::kOk) {
+        out.status = lg.status;
+        p.set_value(std::move(out));
+        co_return;
+      }
+      cache_layout(state(file), lg.extents);
+    }
+  }
+
+  // Fetch missing runs from the array, grouped per physical extent.
+  struct Fetch {
+    std::uint32_t index;  // into out.tokens
+    storage::PhysAddr addr;
+    std::uint32_t count;
+    SimFuture<Done> fut;
+  };
+  std::vector<Fetch> fetches;
+  {
+    FileState& st = state(file);
+    std::uint32_t i = 0;
+    while (i < range.count) {
+      if (have[i]) {
+        ++i;
+        continue;
+      }
+      const std::uint64_t blk = range.first + i;
+      const net::Extent* covering = nullptr;
+      auto it = st.layout.upper_bound(blk);
+      if (it != st.layout.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second.end_block() > blk) covering = &prev->second;
+      }
+      if (!covering) {
+        ++i;  // hole: reads back as unwritten
+        continue;
+      }
+      std::uint32_t run = 1;
+      while (i + run < range.count && !have[i + run] &&
+             blk + run < covering->end_block()) {
+        ++run;
+      }
+      storage::PhysAddr addr{covering->addr.device,
+                             covering->addr.block +
+                                 (blk - covering->file_block)};
+      fetches.push_back(Fetch{i, addr, run, array_->read(addr, run)});
+      i += run;
+    }
+  }
+  for (auto& f : fetches) {
+    co_await f.fut;
+    auto toks = array_->peek(f.addr, f.count);
+    for (std::uint32_t k = 0; k < f.count; ++k) {
+      out.tokens[f.index + k] = toks[k];
+      cache_.put_clean(file, range.first + f.index + k, toks[k]);
+    }
+  }
+  p.set_value(std::move(out));
+}
+
+Process ClientFs::fsync_proc(net::FileId file, SimPromise<Status> p) {
+  co_await sim_->delay(params_.cpu_op);
+  if (params_.mode == CommitMode::kDelayed) {
+    auto fut = queue_.wait_committed(file);
+    co_await fut;
+  }
+  // Sync mode: every write already waited for durability + commit.
+  p.set_value(Status::kOk);
+}
+
+Process ClientFs::remove_proc(net::DirId dir, std::string name,
+                              SimPromise<Status> p) {
+  co_await sim_->delay(params_.cpu_op);
+  // Resolve the id so local state can be dropped.
+  net::RequestBody lreq = net::LookupReq{dir, name};
+  auto lfut = endpoint_.call(*mds_, std::move(lreq));
+  auto lresp = co_await lfut;
+  const auto& lr = std::get<net::LookupResp>(lresp);
+  if (lr.status == Status::kOk) {
+    queue_.drop(lr.file);
+    cache_.invalidate_file(lr.file);
+    files_.erase(lr.file);
+  }
+  net::RequestBody req = net::RemoveReq{dir, std::move(name)};
+  auto fut = endpoint_.call(*mds_, std::move(req));
+  auto resp = co_await fut;
+  p.set_value(std::get<net::RemoveResp>(resp).status);
+}
+
+}  // namespace redbud::client

@@ -1,0 +1,172 @@
+// The Redbud client file system.
+//
+// Implements both update protocols of the paper on top of the shared
+// substrates:
+//
+//  * synchronous commit (original Redbud): writepage -> wait for the data
+//    to be durable -> send the commit RPC -> wait for the reply -> return;
+//  * delayed commit: writepage is issued, the commit request joins the
+//    commit queue (deduplicated per file), and the call returns at once —
+//    background daemons keep the write order and send compound RPCs;
+//  * unordered (deliberately broken, for the crash experiments): the
+//    commit RPC races the data write — exactly the inconsistency ordered
+//    writes exist to prevent.
+//
+// Space delegation (double space pool) and the adaptive commit machinery
+// are wired here.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "client/commit_daemon.hpp"
+#include "client/commit_queue.hpp"
+#include "client/compound_controller.hpp"
+#include "client/page_cache.hpp"
+#include "client/space_pool.hpp"
+#include "fsapi/fs_client.hpp"
+#include "net/rpc.hpp"
+#include "storage/disk_array.hpp"
+
+namespace redbud::client {
+
+enum class CommitMode : std::uint8_t {
+  kSync,      // original Redbud ordered writes
+  kDelayed,   // the paper's contribution
+  kUnordered  // broken ordering (crash-consistency demonstrations only)
+};
+
+struct ClientFsParams {
+  CommitMode mode = CommitMode::kDelayed;
+  bool delegation = true;
+  std::uint64_t chunk_blocks = (16ull << 20) / storage::kBlockSize;  // 16 MiB
+  CommitPoolParams pool;
+  CompoundParams compound;
+  std::size_t cache_pages = 1 << 18;  // 1 GiB of 4 KiB pages
+  // Client-side CPU costs.
+  redbud::sim::SimTime cpu_op = redbud::sim::SimTime::micros(5);
+  redbud::sim::SimTime cpu_page = redbud::sim::SimTime::micros(1);
+};
+
+using OpenResult = fsapi::OpenResult;
+using ReadResult = fsapi::ReadResult;
+
+class ClientFs final : public fsapi::FsClient {
+ public:
+  ClientFs(redbud::sim::Simulation& sim, net::Network& network,
+           net::RpcEndpoint& mds, storage::DiskArray& array,
+           ClientFsParams params);
+  ClientFs(const ClientFs&) = delete;
+  ClientFs& operator=(const ClientFs&) = delete;
+
+  // Spawn background machinery (commit daemons in delayed mode). Once.
+  void start();
+
+  // --- file operations (all awaitable futures) ------------------------------
+  [[nodiscard]] redbud::sim::SimFuture<net::FileId> create(
+      net::DirId dir, std::string name) override;
+  [[nodiscard]] redbud::sim::SimFuture<OpenResult> open(
+      net::DirId dir, std::string name) override;
+  [[nodiscard]] redbud::sim::SimFuture<net::Status> write(
+      net::FileId file, std::uint64_t offset_bytes,
+      std::uint32_t nbytes) override;
+  [[nodiscard]] redbud::sim::SimFuture<ReadResult> read(
+      net::FileId file, std::uint64_t offset_bytes,
+      std::uint32_t nbytes) override;
+  [[nodiscard]] redbud::sim::SimFuture<net::Status> fsync(
+      net::FileId file) override;
+  [[nodiscard]] redbud::sim::SimFuture<net::Status> close(
+      net::FileId file) override;
+  [[nodiscard]] redbud::sim::SimFuture<net::Status> remove(
+      net::DirId dir, std::string name) override;
+
+  // Token the most recent write stored for (file, block) — lets workloads
+  // verify read-back without tracking contents themselves.
+  [[nodiscard]] storage::ContentToken expected_token(
+      net::FileId file, std::uint64_t block) const override;
+  [[nodiscard]] std::uint64_t known_size(net::FileId file) const;
+
+  // --- introspection ----------------------------------------------------------
+  [[nodiscard]] net::RpcEndpoint& endpoint() { return endpoint_; }
+  [[nodiscard]] CommitQueue& commit_queue() { return queue_; }
+  [[nodiscard]] CommitDaemonPool& commit_pool() { return pool_daemons_; }
+  [[nodiscard]] CompoundController& compound() { return compound_; }
+  [[nodiscard]] PageCache& cache() { return cache_; }
+  [[nodiscard]] DoubleSpacePool& space_pool() { return pool_; }
+  [[nodiscard]] const ClientFsParams& params() const { return params_; }
+  [[nodiscard]] std::uint64_t writes_issued() const { return writes_; }
+  [[nodiscard]] std::uint64_t reads_issued() const { return reads_; }
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
+  [[nodiscard]] std::uint64_t bytes_read() const { return bytes_read_; }
+
+ private:
+  struct FileState {
+    std::uint64_t size_bytes = 0;
+    // Layout cache: extents by file block.
+    std::map<std::uint64_t, net::Extent> layout;
+    // Version per block (drives content tokens).
+    std::unordered_map<std::uint64_t, std::uint64_t> versions;
+    // In-flight writeback per block (Linux PG_writeback analogue): a page
+    // with an outstanding array write may not be written again until that
+    // I/O completes, or the elevator could reorder two writes of the same
+    // block and let stale data land last on the platter.
+    std::unordered_map<std::uint64_t,
+                       redbud::sim::SimFuture<redbud::sim::Done>>
+        writeback;
+  };
+
+  redbud::sim::Process create_proc(net::DirId dir, std::string name,
+                                   redbud::sim::SimPromise<net::FileId> p);
+  redbud::sim::Process open_proc(net::DirId dir, std::string name,
+                                 redbud::sim::SimPromise<OpenResult> p);
+  redbud::sim::Process write_proc(net::FileId file, std::uint64_t offset,
+                                  std::uint32_t nbytes,
+                                  redbud::sim::SimPromise<net::Status> p);
+  redbud::sim::Process read_proc(net::FileId file, std::uint64_t offset,
+                                 std::uint32_t nbytes,
+                                 redbud::sim::SimPromise<ReadResult> p);
+  redbud::sim::Process fsync_proc(net::FileId file,
+                                  redbud::sim::SimPromise<net::Status> p);
+  redbud::sim::Process remove_proc(net::DirId dir, std::string name,
+                                   redbud::sim::SimPromise<net::Status> p);
+  redbud::sim::Process refill_proc();
+  redbud::sim::Process return_leftovers_proc();
+
+  // Allocate physical extents for [file_block, file_block + nblocks).
+  // Fills `out` (file-block annotated) — may suspend on a delegation
+  // refill or a layout-get RPC.
+  redbud::sim::Process allocate_space(net::FileId file,
+                                      std::uint64_t file_block,
+                                      std::uint32_t nblocks,
+                                      std::vector<net::Extent>* out,
+                                      redbud::sim::SimPromise<net::Status> p);
+
+  void cache_layout(FileState& st, const std::vector<net::Extent>& extents);
+  [[nodiscard]] FileState& state(net::FileId file) { return files_[file]; }
+
+  redbud::sim::Simulation* sim_;
+  net::RpcEndpoint* mds_;
+  storage::DiskArray* array_;
+  ClientFsParams params_;
+  net::NodeId node_;
+  net::RpcEndpoint endpoint_;
+  PageCache cache_;
+  DoubleSpacePool pool_;
+  CommitQueue queue_;
+  CompoundController compound_;
+  CommitDaemonPool pool_daemons_;
+  redbud::sim::Signal refill_done_;
+  bool refill_in_progress_ = false;
+  bool started_ = false;
+  std::unordered_map<net::FileId, FileState> files_;
+  std::uint64_t writes_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t bytes_read_ = 0;
+};
+
+}  // namespace redbud::client

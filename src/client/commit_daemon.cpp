@@ -1,0 +1,128 @@
+#include "client/commit_daemon.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace redbud::client {
+
+using redbud::sim::Process;
+using redbud::sim::SimTime;
+
+CommitDaemonPool::CommitDaemonPool(redbud::sim::Simulation& sim,
+                                   CommitQueue& queue, net::RpcEndpoint& self,
+                                   net::RpcEndpoint& mds,
+                                   CompoundController& compound,
+                                   PageCache& cache, CommitPoolParams params)
+    : sim_(&sim),
+      queue_(&queue),
+      self_(&self),
+      mds_(&mds),
+      compound_(&compound),
+      cache_(&cache),
+      params_(params) {
+  assert(params_.max_threads >= 1 && params_.max_queue_len >= 1);
+}
+
+void CommitDaemonPool::start() {
+  assert(!started_);
+  started_ = true;
+  const std::uint32_t initial =
+      params_.adaptive_threads ? 1 : params_.fixed_threads;
+  for (std::uint32_t i = 0; i < initial; ++i) {
+    ++live_threads_;
+    sim_->spawn(daemon());
+  }
+  if (params_.adaptive_threads) sim_->spawn(controller());
+}
+
+std::uint32_t CommitDaemonPool::target_threads() const {
+  // ThreadNums = rho * QueueLen, rho = max_threads / max_queue.
+  const double rho =
+      double(params_.max_threads) / double(params_.max_queue_len);
+  const auto target =
+      static_cast<std::uint32_t>(rho * double(queue_->size()) + 0.999);
+  return std::clamp<std::uint32_t>(target, 1, params_.max_threads);
+}
+
+Process CommitDaemonPool::controller() {
+  for (;;) {
+    co_await sim_->delay(params_.control_interval);
+    const std::uint32_t target = target_threads();
+    while (live_threads_ < target) {
+      ++live_threads_;
+      sim_->spawn(daemon());
+    }
+    if (live_threads_ > target) {
+      exit_requests_ = live_threads_ - target;
+      // Idle daemons park on the work signal; nudge them so they can
+      // observe the shrink request.
+      queue_->work().notify_all();
+    }
+  }
+}
+
+Process CommitDaemonPool::daemon() {
+  for (;;) {
+    // Honour shrink requests between batches ("a certain thread
+    // terminates to keep proper thread numbers"), but never below one.
+    if (exit_requests_ > 0 && live_threads_ > 1) {
+      --exit_requests_;
+      break;
+    }
+    if (queue_->empty()) {
+      co_await queue_->work().wait();
+      continue;
+    }
+    auto batch = queue_->checkout(compound_->degree());
+    if (batch.empty()) {
+      // Entries exist but their data writes are still in flight: poll.
+      co_await sim_->delay(params_.poll_interval);
+      continue;
+    }
+
+    net::CommitReq req;
+    req.entries.reserve(batch.size());
+    for (const auto& task : batch) {
+      net::CommitEntry e;
+      e.file = task.file;
+      e.extents = task.extents;
+      e.new_size_bytes = task.new_size_bytes;
+      e.block_tokens = task.block_tokens;
+      req.entries.push_back(std::move(e));
+    }
+
+    const SimTime sent_at = sim_->now();
+    auto fut = self_->call(*mds_, std::move(req));
+    auto resp = co_await fut;
+    const auto& cr = std::get<net::CommitResp>(resp);
+    ++rpcs_sent_;
+    entries_committed_ += batch.size();
+    compound_->on_reply(cr.mds_queue_len, sim_->now() - sent_at);
+
+    for (auto& task : batch) {
+      for (const auto& e : task.extents) {
+        for (std::uint32_t b = 0; b < e.nblocks; ++b) {
+          cache_->mark_clean(task.file, e.file_block + b);
+        }
+      }
+      queue_->ack(task);
+    }
+  }
+  --live_threads_;
+}
+
+Process CommitDaemonPool::tracer(SimTime interval) {
+  for (;;) {
+    thread_series_.record(sim_->now(), double(live_threads_));
+    queue_series_.record(sim_->now(), double(queue_->size()));
+    co_await sim_->delay(interval);
+  }
+}
+
+void CommitDaemonPool::enable_tracing(SimTime sample_interval) {
+  if (tracing_) return;
+  tracing_ = true;
+  sim_->spawn(tracer(sample_interval));
+}
+
+}  // namespace redbud::client

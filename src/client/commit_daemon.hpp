@@ -1,0 +1,88 @@
+// Background commit daemon pool with adaptive sizing (§IV-B).
+//
+// Daemons check out I/O-complete commit tasks, build compound commit RPCs
+// and send them to the MDS. A controller keeps the pool size proportional
+// to the commit queue length:
+//
+//   ThreadNums_cur = rho * QueueLen_cur,   rho = ThreadNums_max / QueueLen_max
+//
+// clamped to [1, max]. Figure 6 plots the thread count against the queue
+// length over time; enable_tracing() records exactly those two series.
+#pragma once
+
+#include <cstdint>
+
+#include "client/commit_queue.hpp"
+#include "client/compound_controller.hpp"
+#include "client/page_cache.hpp"
+#include "net/rpc.hpp"
+#include "sim/stats.hpp"
+
+namespace redbud::client {
+
+struct CommitPoolParams {
+  bool adaptive_threads = true;
+  std::uint32_t max_threads = 9;       // paper's Figure 6 maximum
+  std::size_t max_queue_len = 450;     // rho denominator
+  std::uint32_t fixed_threads = 1;     // used when !adaptive_threads
+  redbud::sim::SimTime control_interval = redbud::sim::SimTime::millis(50);
+  // Poll period while queued entries wait for their data writes.
+  redbud::sim::SimTime poll_interval = redbud::sim::SimTime::micros(500);
+};
+
+class CommitDaemonPool {
+ public:
+  CommitDaemonPool(redbud::sim::Simulation& sim, CommitQueue& queue,
+                   net::RpcEndpoint& self, net::RpcEndpoint& mds,
+                   CompoundController& compound, PageCache& cache,
+                   CommitPoolParams params);
+  CommitDaemonPool(const CommitDaemonPool&) = delete;
+  CommitDaemonPool& operator=(const CommitDaemonPool&) = delete;
+
+  // Spawn the controller and the initial daemon. Call once.
+  void start();
+
+  [[nodiscard]] std::uint32_t live_threads() const { return live_threads_; }
+  [[nodiscard]] std::uint64_t rpcs_sent() const { return rpcs_sent_; }
+  [[nodiscard]] std::uint64_t entries_committed() const {
+    return entries_committed_;
+  }
+  // Mean compound degree actually achieved.
+  [[nodiscard]] double mean_degree() const {
+    return rpcs_sent_ == 0 ? 0.0
+                           : double(entries_committed_) / double(rpcs_sent_);
+  }
+
+  // Figure 6 instrumentation: sample (threads, queue length) periodically.
+  void enable_tracing(redbud::sim::SimTime sample_interval);
+  [[nodiscard]] const redbud::sim::TimeSeries& thread_series() const {
+    return thread_series_;
+  }
+  [[nodiscard]] const redbud::sim::TimeSeries& queue_series() const {
+    return queue_series_;
+  }
+
+ private:
+  redbud::sim::Process daemon();
+  redbud::sim::Process controller();
+  redbud::sim::Process tracer(redbud::sim::SimTime interval);
+  [[nodiscard]] std::uint32_t target_threads() const;
+
+  redbud::sim::Simulation* sim_;
+  CommitQueue* queue_;
+  net::RpcEndpoint* self_;
+  net::RpcEndpoint* mds_;
+  CompoundController* compound_;
+  PageCache* cache_;
+  CommitPoolParams params_;
+  bool started_ = false;
+  std::uint32_t live_threads_ = 0;
+  std::uint32_t exit_requests_ = 0;
+  std::uint64_t rpcs_sent_ = 0;
+  std::uint64_t entries_committed_ = 0;
+  redbud::sim::TimeSeries thread_series_{"commit_threads"};
+  redbud::sim::TimeSeries queue_series_{"commit_queue_len"};
+  bool tracing_ = false;
+};
+
+}  // namespace redbud::client

@@ -1,0 +1,147 @@
+#include "client/commit_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace redbud::client {
+
+using redbud::sim::Done;
+using redbud::sim::SimFuture;
+using redbud::sim::SimPromise;
+
+CommitQueue::CommitQueue(redbud::sim::Simulation& sim)
+    : sim_(&sim), work_(sim), space_(sim) {}
+
+void CommitQueue::add(net::FileId file, std::vector<net::Extent> extents,
+                      std::vector<storage::ContentToken> block_tokens,
+                      std::uint64_t new_size_bytes,
+                      std::vector<SimFuture<Done>> data_futures) {
+  ++enqueued_;
+  auto it = queued_.find(file);
+  if (it == queued_.end()) {
+    CommitTask task;
+    task.file = file;
+    task.extents = std::move(extents);
+    task.block_tokens = std::move(block_tokens);
+    task.new_size_bytes = new_size_bytes;
+    task.enqueued_at = sim_->now();
+    task.data_futures = std::move(data_futures);
+    queued_.emplace(file, std::move(task));
+    order_.push_back(file);
+  } else {
+    // Same-file merge: one commit request per file in the queue.
+    ++merged_;
+    CommitTask& task = it->second;
+    task.extents.insert(task.extents.end(), extents.begin(), extents.end());
+    task.block_tokens.insert(task.block_tokens.end(), block_tokens.begin(),
+                             block_tokens.end());
+    task.new_size_bytes = std::max(task.new_size_bytes, new_size_bytes);
+    for (auto& f : data_futures) task.data_futures.push_back(std::move(f));
+  }
+  work_.notify_all();
+}
+
+SimFuture<Done> CommitQueue::wait_committed(net::FileId file) {
+  SimPromise<Done> p(*sim_);
+  auto fut = p.future();
+  const bool queued = queued_.count(file) > 0;
+  const bool flying = in_flight_files_.count(file) > 0;
+  if (!queued && !flying) {
+    p.set_value(Done{});
+    return fut;
+  }
+  if (queued) {
+    queued_[file].waiters.push_back(std::move(p));
+  } else {
+    in_flight_waiters_[file].push_back(std::move(p));
+  }
+  return fut;
+}
+
+void CommitQueue::drop(net::FileId file) {
+  auto it = queued_.find(file);
+  if (it == queued_.end()) return;
+  for (auto& w : it->second.waiters) w.set_value(Done{});
+  queued_.erase(it);
+  order_.erase(std::remove(order_.begin(), order_.end(), file), order_.end());
+  space_.notify_all();
+}
+
+bool CommitQueue::any_ready() const {
+  for (const auto& file : order_) {
+    if (queued_.at(file).data_complete()) return true;
+  }
+  return false;
+}
+
+std::vector<CommitTask> CommitQueue::checkout(std::size_t max) {
+  std::vector<CommitTask> out;
+  // Bound the scan: data writes complete roughly in FIFO order, so ready
+  // entries cluster at the front; a deep scan over a long unready tail
+  // would make daemon polling quadratic in the queue length.
+  constexpr std::size_t kScanLimit = 128;
+  std::size_t scanned = 0;
+  for (auto it = order_.begin();
+       it != order_.end() && out.size() < max && scanned < kScanLimit;
+       ++scanned) {
+    auto qit = queued_.find(*it);
+    assert(qit != queued_.end());
+    if (qit->second.data_complete()) {
+      out.push_back(std::move(qit->second));
+      queued_.erase(qit);
+      it = order_.erase(it);
+      ++in_flight_files_[out.back().file];
+      ++in_flight_count_;
+    } else {
+      ++it;
+    }
+  }
+  if (!out.empty()) space_.notify_all();
+  return out;
+}
+
+void CommitQueue::ack(CommitTask& task) {
+  ++committed_;
+  commit_latency_.record(sim_->now() - task.enqueued_at);
+  for (auto& w : task.waiters) w.set_value(Done{});
+  task.waiters.clear();
+
+  auto fit = in_flight_files_.find(task.file);
+  assert(fit != in_flight_files_.end());
+  --in_flight_count_;
+  if (--fit->second == 0) {
+    in_flight_files_.erase(fit);
+    // Waiters attached while this generation was in flight are satisfied
+    // once it lands; writes issued after the fsync belong to a new task.
+    if (auto wit = in_flight_waiters_.find(task.file);
+        wit != in_flight_waiters_.end()) {
+      for (auto& w : wit->second) w.set_value(Done{});
+      in_flight_waiters_.erase(wit);
+    }
+  }
+}
+
+void CommitQueue::requeue(CommitTask task) {
+  auto fit = in_flight_files_.find(task.file);
+  assert(fit != in_flight_files_.end());
+  --in_flight_count_;
+  if (--fit->second == 0) in_flight_files_.erase(fit);
+
+  const net::FileId file = task.file;
+  auto it = queued_.find(file);
+  if (it == queued_.end()) {
+    queued_.emplace(file, std::move(task));
+    order_.push_front(file);
+  } else {
+    CommitTask& q = it->second;
+    q.extents.insert(q.extents.end(), task.extents.begin(),
+                     task.extents.end());
+    q.block_tokens.insert(q.block_tokens.end(), task.block_tokens.begin(),
+                          task.block_tokens.end());
+    q.new_size_bytes = std::max(q.new_size_bytes, task.new_size_bytes);
+    for (auto& w : task.waiters) q.waiters.push_back(std::move(w));
+  }
+  work_.notify_all();
+}
+
+}  // namespace redbud::client

@@ -1,0 +1,113 @@
+// The commit queue of the Delayed Commit Protocol (§III-A).
+//
+// Each update enqueues its file's metadata commit; requests for a file
+// that already has a queued commit are *merged into it* ("inserted into
+// the commit queue if no commit request of the same file exists"), so one
+// RPC commits all of a file's accumulated dirty metadata. Background
+// commit daemons check out entries whose local data writes have completed
+// and send compound commit RPCs.
+//
+// The ordered-writes invariant lives here: an entry is only *ready* for
+// checkout once every data-write future attached to it has resolved, i.e.
+// the commit RPC can never overtake its file data to stable storage.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "sim/future.hpp"
+#include "sim/stats.hpp"
+#include "sim/sync.hpp"
+
+namespace redbud::client {
+
+// One file's accumulated uncommitted metadata.
+struct CommitTask {
+  net::FileId file = net::kInvalidFile;
+  std::vector<net::Extent> extents;
+  std::vector<storage::ContentToken> block_tokens;  // per block of extents
+  std::uint64_t new_size_bytes = 0;
+  redbud::sim::SimTime enqueued_at;
+  // Local writepage completions this commit must wait for.
+  std::vector<redbud::sim::SimFuture<redbud::sim::Done>> data_futures;
+  // fsync/close waiters resolved when the commit RPC is acknowledged.
+  std::vector<redbud::sim::SimPromise<redbud::sim::Done>> waiters;
+
+  [[nodiscard]] bool data_complete() const {
+    for (const auto& f : data_futures) {
+      if (!f.ready()) return false;
+    }
+    return true;
+  }
+};
+
+class CommitQueue {
+ public:
+  explicit CommitQueue(redbud::sim::Simulation& sim);
+
+  CommitQueue(const CommitQueue&) = delete;
+  CommitQueue& operator=(const CommitQueue&) = delete;
+
+  // Merge an update into the file's queued commit (or enqueue a new one).
+  void add(net::FileId file, std::vector<net::Extent> extents,
+           std::vector<storage::ContentToken> block_tokens,
+           std::uint64_t new_size_bytes,
+           std::vector<redbud::sim::SimFuture<redbud::sim::Done>> data_futures);
+
+  // Future resolving when everything currently pending for `file` (queued
+  // or in flight) has been committed; immediately ready when nothing is.
+  [[nodiscard]] redbud::sim::SimFuture<redbud::sim::Done> wait_committed(
+      net::FileId file);
+
+  // Drop the queued commit of a file (file removed before commit). Waiters
+  // are resolved — there is nothing left to commit.
+  void drop(net::FileId file);
+
+  // Daemon side: take up to `max` FIFO entries whose data writes are
+  // complete. Checked-out tasks become "in flight" until ack()/fail().
+  [[nodiscard]] std::vector<CommitTask> checkout(std::size_t max);
+  // Acknowledge an in-flight task: resolves waiters, updates stats.
+  void ack(CommitTask& task);
+  // Re-queue an in-flight task after a failed RPC.
+  void requeue(CommitTask task);
+
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
+  [[nodiscard]] bool empty() const { return order_.empty(); }
+  [[nodiscard]] std::size_t in_flight() const { return in_flight_count_; }
+  // True when at least one queued entry has all its data durable.
+  [[nodiscard]] bool any_ready() const;
+
+  [[nodiscard]] redbud::sim::Signal& work() { return work_; }
+  // Notified whenever entries leave the queue — writers blocked on a full
+  // queue (the paper's QueueLen_max backpressure) wait on this.
+  [[nodiscard]] redbud::sim::Signal& space() { return space_; }
+  [[nodiscard]] std::uint64_t enqueued_total() const { return enqueued_; }
+  [[nodiscard]] std::uint64_t merged_total() const { return merged_; }
+  [[nodiscard]] std::uint64_t committed_total() const { return committed_; }
+  [[nodiscard]] redbud::sim::LatencyHistogram& commit_latency() {
+    return commit_latency_;
+  }
+
+ private:
+  redbud::sim::Simulation* sim_;
+  // FIFO of queued files; the map holds the actual tasks.
+  std::deque<net::FileId> order_;
+  std::unordered_map<net::FileId, CommitTask> queued_;
+  // fsync waiters attached to in-flight commits, keyed by file.
+  std::unordered_map<net::FileId,
+                     std::vector<redbud::sim::SimPromise<redbud::sim::Done>>>
+      in_flight_waiters_;
+  std::unordered_map<net::FileId, std::size_t> in_flight_files_;
+  std::size_t in_flight_count_ = 0;
+  redbud::sim::Signal work_;
+  redbud::sim::Signal space_;
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t merged_ = 0;
+  std::uint64_t committed_ = 0;
+  redbud::sim::LatencyHistogram commit_latency_;
+};
+
+}  // namespace redbud::client

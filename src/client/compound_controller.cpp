@@ -1,0 +1,41 @@
+#include "client/compound_controller.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace redbud::client {
+
+CompoundController::CompoundController(CompoundParams params)
+    : params_(params), degree_(params.adaptive ? params.min_degree
+                                               : params.fixed_degree) {
+  assert(params_.min_degree >= 1);
+  assert(params_.max_degree >= params_.min_degree);
+}
+
+void CompoundController::on_reply(std::uint32_t mds_queue_len,
+                                  redbud::sim::SimTime rtt) {
+  constexpr double kAlpha = 0.25;
+  if (!primed_) {
+    ema_queue_ = mds_queue_len;
+    ema_rtt_us_ = rtt.to_micros();
+    primed_ = true;
+  } else {
+    ema_queue_ += kAlpha * (double(mds_queue_len) - ema_queue_);
+    ema_rtt_us_ += kAlpha * (rtt.to_micros() - ema_rtt_us_);
+  }
+  if (!params_.adaptive) return;
+
+  const bool congested = ema_queue_ > double(params_.mds_busy_queue) ||
+                         ema_rtt_us_ > params_.rtt_high.to_micros();
+  const bool relaxed = ema_queue_ < double(params_.mds_idle_queue) &&
+                       ema_rtt_us_ < params_.rtt_low.to_micros();
+  if (congested && degree_ < params_.max_degree) {
+    ++degree_;
+    ++increases_;
+  } else if (relaxed && degree_ > params_.min_degree) {
+    --degree_;
+    ++decreases_;
+  }
+}
+
+}  // namespace redbud::client

@@ -1,0 +1,59 @@
+// Adaptive RPC compound degree (§IV-B).
+//
+// "The compound degree changes periodically with the knowledge of the
+// network traffic in the cluster and the workload on the MDS. The
+// compound degree increases as the network is congested or the MDS is
+// busy enough, so as to reduce the RPC requests."
+//
+// Signals: the MDS queue length piggybacked on every commit reply, and
+// the observed commit RPC round-trip time (congestion proxy).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace redbud::client {
+
+struct CompoundParams {
+  bool adaptive = true;
+  std::uint32_t fixed_degree = 1;  // used when !adaptive
+  std::uint32_t min_degree = 1;
+  std::uint32_t max_degree = 8;
+  // MDS queue length above which the server counts as busy / below which
+  // it counts as idle.
+  std::uint32_t mds_busy_queue = 24;
+  std::uint32_t mds_idle_queue = 4;
+  // RTT thresholds marking network congestion.
+  redbud::sim::SimTime rtt_high = redbud::sim::SimTime::millis(2);
+  redbud::sim::SimTime rtt_low = redbud::sim::SimTime::micros(700);
+};
+
+class CompoundController {
+ public:
+  explicit CompoundController(CompoundParams params);
+
+  [[nodiscard]] std::uint32_t degree() const {
+    return params_.adaptive ? degree_ : params_.fixed_degree;
+  }
+
+  // Feed one commit-RPC observation.
+  void on_reply(std::uint32_t mds_queue_len, redbud::sim::SimTime rtt);
+
+  [[nodiscard]] std::uint32_t increases() const { return increases_; }
+  [[nodiscard]] std::uint32_t decreases() const { return decreases_; }
+  [[nodiscard]] const CompoundParams& params() const { return params_; }
+
+ private:
+  CompoundParams params_;
+  std::uint32_t degree_;
+  // Exponentially-smoothed observations.
+  double ema_queue_ = 0.0;
+  double ema_rtt_us_ = 0.0;
+  bool primed_ = false;
+  std::uint32_t increases_ = 0;
+  std::uint32_t decreases_ = 0;
+};
+
+}  // namespace redbud::client

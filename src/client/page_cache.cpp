@@ -1,0 +1,134 @@
+#include "client/page_cache.hpp"
+
+#include <cassert>
+
+namespace redbud::client {
+
+PageCache::PageCache(std::size_t capacity_pages) : capacity_(capacity_pages) {
+  assert(capacity_ > 0);
+}
+
+void PageCache::insert(net::FileId file, std::uint64_t block,
+                       storage::ContentToken token, bool dirty) {
+  const Key key{file, block};
+  auto it = pages_.find(key);
+  if (it != pages_.end()) {
+    Page& p = it->second;
+    p.token = token;
+    if (p.dirty != dirty) {
+      if (dirty) {
+        lru_.erase(p.lru_it);
+        ++dirty_;
+        dirty_index_[file].insert(block);
+      } else {
+        lru_.push_front(key);
+        p.lru_it = lru_.begin();
+        --dirty_;
+        drop_dirty_index(file, block);
+      }
+      p.dirty = dirty;
+    } else if (!dirty) {
+      lru_.splice(lru_.begin(), lru_, p.lru_it);
+    }
+    return;
+  }
+  evict_if_needed();
+  Page p;
+  p.token = token;
+  p.dirty = dirty;
+  if (dirty) {
+    ++dirty_;
+    dirty_index_[file].insert(block);
+  } else {
+    lru_.push_front(key);
+    p.lru_it = lru_.begin();
+  }
+  pages_.emplace(key, p);
+}
+
+void PageCache::evict_if_needed() {
+  // Only clean pages are evictable; a cache full of dirty pages grows past
+  // capacity rather than lose uncommitted data.
+  while (pages_.size() >= capacity_ && !lru_.empty()) {
+    const Key victim = lru_.back();
+    lru_.pop_back();
+    pages_.erase(victim);
+    ++evictions_;
+  }
+}
+
+void PageCache::put_dirty(net::FileId file, std::uint64_t block,
+                          storage::ContentToken token) {
+  insert(file, block, token, true);
+}
+
+void PageCache::put_clean(net::FileId file, std::uint64_t block,
+                          storage::ContentToken token) {
+  insert(file, block, token, false);
+}
+
+void PageCache::mark_clean(net::FileId file, std::uint64_t block) {
+  auto it = pages_.find(Key{file, block});
+  if (it == pages_.end() || !it->second.dirty) return;
+  it->second.dirty = false;
+  --dirty_;
+  drop_dirty_index(file, block);
+  lru_.push_front(Key{file, block});
+  it->second.lru_it = lru_.begin();
+}
+
+void PageCache::drop_dirty_index(net::FileId file, std::uint64_t block) {
+  auto it = dirty_index_.find(file);
+  if (it == dirty_index_.end()) return;
+  it->second.erase(block);
+  if (it->second.empty()) dirty_index_.erase(it);
+}
+
+std::optional<storage::ContentToken> PageCache::get(net::FileId file,
+                                                    std::uint64_t block) {
+  auto it = pages_.find(Key{file, block});
+  if (it == pages_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  if (!it->second.dirty) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  }
+  return it->second.token;
+}
+
+bool PageCache::is_dirty(net::FileId file, std::uint64_t block) const {
+  auto it = pages_.find(Key{file, block});
+  return it != pages_.end() && it->second.dirty;
+}
+
+std::vector<std::pair<std::uint64_t, storage::ContentToken>>
+PageCache::dirty_pages_of(net::FileId file) const {
+  std::vector<std::pair<std::uint64_t, storage::ContentToken>> out;
+  auto it = dirty_index_.find(file);
+  if (it == dirty_index_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto block : it->second) {
+    out.emplace_back(block, pages_.at(Key{file, block}).token);
+  }
+  return out;
+}
+
+void PageCache::invalidate_file(net::FileId file) {
+  for (auto it = pages_.begin(); it != pages_.end();) {
+    if (it->first.file == file) {
+      if (it->second.dirty) {
+        --dirty_;
+      } else {
+        lru_.erase(it->second.lru_it);
+      }
+      it = pages_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  dirty_index_.erase(file);
+}
+
+}  // namespace redbud::client

@@ -1,0 +1,90 @@
+// Client page cache.
+//
+// Pages are keyed by (file, file block) and hold the content token the
+// client wrote or read. Dirty pages — written but not yet committed — are
+// pinned: they cannot be evicted, because delayed commit relies on the
+// client cache to serve reads of not-yet-committed data (the paper's
+// "conflict reads"). Clean pages are evicted in LRU order when the cache
+// is full.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "storage/types.hpp"
+
+namespace redbud::client {
+
+class PageCache {
+ public:
+  explicit PageCache(std::size_t capacity_pages);
+
+  // Insert or refresh a dirty (uncommitted) page. Dirty pages are pinned.
+  void put_dirty(net::FileId file, std::uint64_t block,
+                 storage::ContentToken token);
+  // Insert or refresh a clean page (read from the array, or committed).
+  void put_clean(net::FileId file, std::uint64_t block,
+                 storage::ContentToken token);
+  // Transition a dirty page to clean (commit acknowledged); no-op if the
+  // page was re-dirtied or dropped meanwhile.
+  void mark_clean(net::FileId file, std::uint64_t block);
+
+  [[nodiscard]] std::optional<storage::ContentToken> get(net::FileId file,
+                                                         std::uint64_t block);
+  [[nodiscard]] bool is_dirty(net::FileId file, std::uint64_t block) const;
+
+  void invalidate_file(net::FileId file);
+
+  // Enumerate the dirty pages of one file (block, token), unordered.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, storage::ContentToken>>
+  dirty_pages_of(net::FileId file) const;
+
+  [[nodiscard]] std::size_t size() const { return pages_.size(); }
+  [[nodiscard]] std::size_t dirty_count() const { return dirty_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Key {
+    net::FileId file;
+    std::uint64_t block;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::uint64_t>{}(k.file * 0x9E3779B97F4A7C15ULL ^
+                                        k.block);
+    }
+  };
+  struct Page {
+    storage::ContentToken token;
+    bool dirty;
+    std::list<Key>::iterator lru_it;  // valid only when clean
+  };
+
+  void insert(net::FileId file, std::uint64_t block,
+              storage::ContentToken token, bool dirty);
+  void evict_if_needed();
+  void drop_dirty_index(net::FileId file, std::uint64_t block);
+
+  std::size_t capacity_;
+  std::unordered_map<Key, Page, KeyHash> pages_;
+  // Per-file dirty-block index so flushes never scan the whole cache.
+  std::unordered_map<net::FileId, std::unordered_set<std::uint64_t>>
+      dirty_index_;
+  std::list<Key> lru_;  // clean pages, most recent at front
+  std::size_t dirty_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace redbud::client

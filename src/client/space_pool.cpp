@@ -1,0 +1,63 @@
+#include "client/space_pool.hpp"
+
+#include <cassert>
+
+namespace redbud::client {
+
+DoubleSpacePool::DoubleSpacePool(std::uint64_t chunk_blocks)
+    : chunk_blocks_(chunk_blocks) {
+  assert(chunk_blocks_ > 0);
+}
+
+std::optional<mds::PhysExtent> DoubleSpacePool::alloc(std::uint64_t nblocks) {
+  assert(eligible(nblocks));
+  if (active_.valid && active_.free() >= nblocks) {
+    mds::PhysExtent out{
+        {active_.chunk.addr.device, active_.chunk.addr.block + active_.used},
+        nblocks};
+    active_.used += nblocks;
+    ++allocs_;
+    return out;
+  }
+  // Swap: promote the standby; retire the old active's leftover.
+  if (!standby_.valid) return std::nullopt;
+  if (active_.valid && active_.free() > 0) {
+    leftovers_.push_back(mds::PhysExtent{
+        {active_.chunk.addr.device, active_.chunk.addr.block + active_.used},
+        active_.free()});
+  }
+  active_ = standby_;
+  standby_ = Pool{};
+  ++swaps_;
+  return alloc(nblocks);
+}
+
+bool DoubleSpacePool::needs_refill() const {
+  return !standby_.valid;
+}
+
+void DoubleSpacePool::install_chunk(mds::PhysExtent chunk) {
+  Pool p;
+  p.chunk = chunk;
+  p.used = 0;
+  p.valid = true;
+  if (!active_.valid) {
+    active_ = p;
+  } else {
+    assert(!standby_.valid && "installing into a full pool pair");
+    standby_ = p;
+  }
+}
+
+std::optional<mds::PhysExtent> DoubleSpacePool::take_leftover() {
+  if (leftovers_.empty()) return std::nullopt;
+  auto out = leftovers_.back();
+  leftovers_.pop_back();
+  return out;
+}
+
+std::uint64_t DoubleSpacePool::active_free() const {
+  return active_.valid ? active_.free() : 0;
+}
+
+}  // namespace redbud::client

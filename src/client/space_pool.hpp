@@ -1,0 +1,65 @@
+// The client's double space pool for space delegation (§IV-A).
+//
+// Two delegated chunks are kept: the *active* pool serves allocations; when
+// it cannot fit the running request, the standby pool is promoted and the
+// old active (with its leftover returned to the MDS) becomes the standby
+// with the space-need flag set — the client then refills it with a new
+// delegate RPC off the critical path. A single allocation never exceeds
+// the chunk size, so a swap always succeeds when the standby is filled.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mds/space_manager.hpp"
+
+namespace redbud::client {
+
+class DoubleSpacePool {
+ public:
+  explicit DoubleSpacePool(std::uint64_t chunk_blocks);
+
+  [[nodiscard]] std::uint64_t chunk_blocks() const { return chunk_blocks_; }
+
+  // True when a request of `nblocks` is pool-eligible (small-file path).
+  [[nodiscard]] bool eligible(std::uint64_t nblocks) const {
+    return nblocks <= chunk_blocks_;
+  }
+
+  // Allocate a contiguous extent from the active pool, swapping in the
+  // standby when needed. Returns nullopt when both pools are empty — the
+  // caller must refill (and should have refilled the standby already).
+  [[nodiscard]] std::optional<mds::PhysExtent> alloc(std::uint64_t nblocks);
+
+  // Does the pool want a new chunk? (standby invalid, or nothing at all)
+  [[nodiscard]] bool needs_refill() const;
+  // Install a freshly delegated chunk into the first empty slot.
+  void install_chunk(mds::PhysExtent chunk);
+
+  // Leftovers of retired pools that should be returned to the MDS; call
+  // repeatedly until nullopt.
+  [[nodiscard]] std::optional<mds::PhysExtent> take_leftover();
+  [[nodiscard]] bool has_leftover() const { return !leftovers_.empty(); }
+
+  [[nodiscard]] std::uint64_t active_free() const;
+  [[nodiscard]] std::uint64_t swaps() const { return swaps_; }
+  [[nodiscard]] std::uint64_t allocs() const { return allocs_; }
+
+ private:
+  struct Pool {
+    mds::PhysExtent chunk;
+    std::uint64_t used = 0;
+    bool valid = false;
+    [[nodiscard]] std::uint64_t free() const { return chunk.nblocks - used; }
+  };
+
+  Pool active_;
+  Pool standby_;
+  std::vector<mds::PhysExtent> leftovers_;
+  std::uint64_t chunk_blocks_;
+  std::uint64_t swaps_ = 0;
+  std::uint64_t allocs_ = 0;
+};
+
+}  // namespace redbud::client

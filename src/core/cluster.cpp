@@ -1,0 +1,40 @@
+#include "core/cluster.hpp"
+
+#include <cassert>
+
+namespace redbud::core {
+
+Cluster::Cluster(ClusterParams params) : params_(std::move(params)) {
+  network_ = std::make_unique<net::Network>(sim_, params_.network);
+  array_ = std::make_unique<storage::DiskArray>(sim_, params_.array);
+
+  // MDS: node + endpoint + metadata disk (journal) + space manager.
+  const auto mds_node = network_->add_node();
+  mds_endpoint_ = std::make_unique<net::RpcEndpoint>(sim_, *network_, mds_node);
+  meta_disk_ = std::make_unique<storage::Disk>(sim_, params_.metadata_disk);
+  meta_sched_ = std::make_unique<storage::IoScheduler>(
+      sim_, *meta_disk_, params_.array.scheduler);
+  journal_ =
+      std::make_unique<mds::Journal>(sim_, *meta_sched_, params_.journal);
+  space_ = std::make_unique<mds::SpaceManager>(
+      params_.array.ndisks, params_.array.disk.total_blocks, params_.space);
+  mds_ = std::make_unique<mds::MdsServer>(sim_, *mds_endpoint_, *space_,
+                                          *journal_, params_.mds);
+
+  for (std::uint32_t i = 0; i < params_.nclients; ++i) {
+    clients_.push_back(std::make_unique<client::ClientFs>(
+        sim_, *network_, *mds_endpoint_, *array_, params_.client));
+  }
+}
+
+void Cluster::start() {
+  assert(!started_);
+  started_ = true;
+  array_->start();
+  meta_sched_->start();
+  journal_->start();
+  mds_->start();
+  for (auto& c : clients_) c->start();
+}
+
+}  // namespace redbud::core

@@ -1,0 +1,74 @@
+// Cluster wiring: the paper's Figure 2 testbed in one object.
+//
+// One MDS node (RPC over Ethernet, metadata disk for the journal), N
+// client nodes running ClientFs, and a shared FC disk array the clients
+// write data to directly. Declaration order matters: the Simulation must
+// outlive every component, so it is the first member.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "client/client_fs.hpp"
+#include "mds/mds_server.hpp"
+#include "net/network.hpp"
+#include "net/rpc.hpp"
+#include "sim/simulation.hpp"
+#include "storage/disk_array.hpp"
+
+namespace redbud::core {
+
+struct ClusterParams {
+  std::uint32_t nclients = 7;  // the paper's eight-node cluster: 7 + MDS
+  net::NetworkParams network;
+  storage::ArrayParams array;
+  storage::DiskParams metadata_disk;
+  mds::SpaceManagerParams space;
+  mds::JournalParams journal;
+  mds::MdsParams mds;
+  client::ClientFsParams client;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterParams params);
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // Spawn every daemon (schedulers, journal, MDS pool, client commit
+  // pools). Call once before running.
+  void start();
+
+  [[nodiscard]] redbud::sim::Simulation& sim() { return sim_; }
+  [[nodiscard]] std::size_t nclients() const { return clients_.size(); }
+  [[nodiscard]] client::ClientFs& client(std::size_t i) {
+    return *clients_[i];
+  }
+  [[nodiscard]] mds::MdsServer& mds() { return *mds_; }
+  [[nodiscard]] storage::DiskArray& array() { return *array_; }
+  [[nodiscard]] net::Network& network() { return *network_; }
+  [[nodiscard]] mds::Journal& journal() { return *journal_; }
+  [[nodiscard]] mds::SpaceManager& space() { return *space_; }
+  [[nodiscard]] net::RpcEndpoint& mds_endpoint() { return *mds_endpoint_; }
+  [[nodiscard]] storage::IoScheduler& metadata_scheduler() {
+    return *meta_sched_;
+  }
+  [[nodiscard]] const ClusterParams& params() const { return params_; }
+
+ private:
+  ClusterParams params_;
+  redbud::sim::Simulation sim_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<storage::DiskArray> array_;
+  std::unique_ptr<storage::Disk> meta_disk_;
+  std::unique_ptr<storage::IoScheduler> meta_sched_;
+  std::unique_ptr<mds::Journal> journal_;
+  std::unique_ptr<mds::SpaceManager> space_;
+  std::unique_ptr<net::RpcEndpoint> mds_endpoint_;
+  std::unique_ptr<mds::MdsServer> mds_;
+  std::vector<std::unique_ptr<client::ClientFs>> clients_;
+  bool started_ = false;
+};
+
+}  // namespace redbud::core

@@ -1,0 +1,64 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace redbud::core {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::fmt_ratio(double v) { return fmt(v, 2) + "x"; }
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto line = [&](char fill) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      out << '+' << std::string(widths[i] + 2, fill);
+    }
+    out << "+\n";
+  };
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : headers_[i];
+      out << "| " << std::left << std::setw(int(widths[i])) << c << ' ';
+    }
+    out << "|\n";
+  };
+  line('-');
+  print_row(headers_);
+  line('-');
+  for (const auto& row : rows_) print_row(row);
+  line('-');
+}
+
+void print_banner(std::ostream& out, const std::string& title,
+                  const std::string& subtitle) {
+  out << "\n=== " << title << " ===\n";
+  if (!subtitle.empty()) out << subtitle << "\n";
+  out << "\n";
+}
+
+}  // namespace redbud::core

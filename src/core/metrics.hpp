@@ -1,0 +1,32 @@
+// Fixed-width console tables for the bench harness — every figure's data
+// is printed as rows the paper's reader can compare directly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace redbud::core {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+  void print(std::ostream& out) const;
+
+  // Formatting helpers.
+  [[nodiscard]] static std::string fmt(double v, int precision = 2);
+  [[nodiscard]] static std::string fmt_ratio(double v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Section banner for bench output.
+void print_banner(std::ostream& out, const std::string& title,
+                  const std::string& subtitle = "");
+
+}  // namespace redbud::core

@@ -1,0 +1,54 @@
+// Protocol-independent client file system interface.
+//
+// Workload generators are written against this interface once and run
+// unchanged over the Redbud client (sync or delayed commit), the NFS3
+// baseline and the PVFS2 baseline — the Figure 3 comparison depends on
+// exactly this substitutability.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "sim/future.hpp"
+
+namespace redbud::fsapi {
+
+struct OpenResult {
+  net::Status status = net::Status::kOk;
+  net::FileId file = net::kInvalidFile;
+  std::uint64_t size_bytes = 0;
+};
+
+struct ReadResult {
+  net::Status status = net::Status::kOk;
+  std::vector<storage::ContentToken> tokens;  // one per requested block
+};
+
+class FsClient {
+ public:
+  virtual ~FsClient() = default;
+
+  [[nodiscard]] virtual redbud::sim::SimFuture<net::FileId> create(
+      net::DirId dir, std::string name) = 0;
+  [[nodiscard]] virtual redbud::sim::SimFuture<OpenResult> open(
+      net::DirId dir, std::string name) = 0;
+  [[nodiscard]] virtual redbud::sim::SimFuture<net::Status> write(
+      net::FileId file, std::uint64_t offset_bytes, std::uint32_t nbytes) = 0;
+  [[nodiscard]] virtual redbud::sim::SimFuture<ReadResult> read(
+      net::FileId file, std::uint64_t offset_bytes, std::uint32_t nbytes) = 0;
+  [[nodiscard]] virtual redbud::sim::SimFuture<net::Status> fsync(
+      net::FileId file) = 0;
+  [[nodiscard]] virtual redbud::sim::SimFuture<net::Status> close(
+      net::FileId file) = 0;
+  [[nodiscard]] virtual redbud::sim::SimFuture<net::Status> remove(
+      net::DirId dir, std::string name) = 0;
+
+  // Verification hook: the token the most recent write of (file, block)
+  // through THIS client should read back.
+  [[nodiscard]] virtual storage::ContentToken expected_token(
+      net::FileId file, std::uint64_t block) const = 0;
+};
+
+}  // namespace redbud::fsapi

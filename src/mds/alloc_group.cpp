@@ -1,0 +1,151 @@
+#include "mds/alloc_group.hpp"
+
+#include <cassert>
+
+namespace redbud::mds {
+
+using storage::BlockNo;
+
+AllocGroup::AllocGroup(std::uint32_t device, BlockNo start,
+                       std::uint64_t nblocks)
+    : device_(device),
+      start_(start),
+      nblocks_(nblocks),
+      free_blocks_(nblocks),
+      cursor_(start) {
+  assert(nblocks > 0);
+  assert(start < (1ull << 32) && start + nblocks <= (1ull << 32) &&
+         "AG offsets must fit the packed by-size key");
+  add_free(start, nblocks);
+}
+
+BPlusTree::Key AllocGroup::size_key(std::uint64_t nblocks, BlockNo offset) {
+  return (nblocks << 32) | (offset & 0xFFFFFFFFull);
+}
+
+void AllocGroup::add_free(BlockNo offset, std::uint64_t nblocks) {
+  const bool a = by_offset_.insert(offset, nblocks);
+  const bool b = by_size_.insert(size_key(nblocks, offset), nblocks);
+  assert(a && b);
+  (void)a;
+  (void)b;
+}
+
+void AllocGroup::remove_free(BlockNo offset, std::uint64_t nblocks) {
+  const bool a = by_offset_.erase(offset);
+  const bool b = by_size_.erase(size_key(nblocks, offset));
+  assert(a && b);
+  (void)a;
+  (void)b;
+}
+
+std::optional<FreeExtent> AllocGroup::take(BlockNo offset, std::uint64_t have,
+                                           std::uint64_t want) {
+  remove_free(offset, have);
+  if (have > want) add_free(offset + want, have - want);
+  free_blocks_ -= want;
+  cursor_ = offset + want;
+  return FreeExtent{offset, want};
+}
+
+std::optional<FreeExtent> AllocGroup::alloc(std::uint64_t nblocks,
+                                            AllocPolicy policy) {
+  assert(nblocks > 0);
+  if (policy == AllocPolicy::kBestFit) {
+    // Smallest (length, offset) key with length >= nblocks.
+    auto hit = by_size_.lower_bound(size_key(nblocks, 0));
+    if (!hit) return std::nullopt;
+    const std::uint64_t have = hit->first >> 32;
+    const BlockNo offset = hit->first & 0xFFFFFFFFull;
+    return take(offset, have, nblocks);
+  }
+  return alloc_near(nblocks, cursor_);
+}
+
+std::optional<FreeExtent> AllocGroup::alloc_near(std::uint64_t nblocks,
+                                                 BlockNo hint) {
+  assert(nblocks > 0);
+  // The free extent containing or preceding `hint` may have room at/after
+  // the hint.
+  if (auto prev = by_offset_.floor(hint)) {
+    const BlockNo off = prev->first;
+    const std::uint64_t len = prev->second;
+    if (off + len > hint && off + len - hint >= nblocks) {
+      // Carve from the hint position: split the head off first.
+      remove_free(off, len);
+      if (hint > off) add_free(off, hint - off);
+      if (off + len > hint + nblocks) {
+        add_free(hint + nblocks, off + len - hint - nblocks);
+      }
+      free_blocks_ -= nblocks;
+      cursor_ = hint + nblocks;
+      return FreeExtent{hint, nblocks};
+    }
+  }
+  // Scan forward from the hint; wrap once.
+  for (int pass = 0; pass < 2; ++pass) {
+    BlockNo from = pass == 0 ? hint : start_;
+    for (auto e = by_offset_.lower_bound(from); e;
+         e = by_offset_.lower_bound(e->first + 1)) {
+      if (e->second >= nblocks) {
+        return take(e->first, e->second, nblocks);
+      }
+      if (pass == 1 && e->first >= hint) return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+void AllocGroup::free(BlockNo offset, std::uint64_t nblocks) {
+  assert(nblocks > 0);
+  assert(offset >= start_ && offset + nblocks <= end());
+
+  BlockNo new_off = offset;
+  std::uint64_t new_len = nblocks;
+
+  // Coalesce with the predecessor.
+  if (auto prev = by_offset_.floor(offset); prev) {
+    assert(prev->first + prev->second <= offset && "double free");
+    if (prev->first + prev->second == offset) {
+      remove_free(prev->first, prev->second);
+      new_off = prev->first;
+      new_len += prev->second;
+    }
+  }
+  // Coalesce with the successor.
+  if (auto next = by_offset_.lower_bound(offset); next) {
+    assert(next->first >= offset + nblocks && "double free");
+    if (next->first == offset + nblocks) {
+      remove_free(next->first, next->second);
+      new_len += next->second;
+    }
+  }
+  add_free(new_off, new_len);
+  free_blocks_ += nblocks;
+}
+
+std::uint64_t AllocGroup::largest_free() const {
+  auto m = by_size_.max();
+  return m ? (m->first >> 32) : 0;
+}
+
+bool AllocGroup::validate() const {
+  const auto by_off = by_offset_.items();
+  if (by_off.size() != by_size_.size()) return false;
+  std::uint64_t total = 0;
+  BlockNo prev_end = start_;
+  bool first = true;
+  for (const auto& [off, len] : by_off) {
+    if (off < start_ || off + len > end()) return false;
+    // Fully coalesced: no two free extents may touch.
+    if (!first && off <= prev_end) return false;
+    first = false;
+    prev_end = off + len;
+    total += len;
+    if (by_size_.find(size_key(len, off)) != len) return false;
+  }
+  if (!by_offset_.validate() || !by_size_.validate()) return false;
+  return total == free_blocks_;
+}
+
+}  // namespace redbud::mds

@@ -1,0 +1,82 @@
+// Allocation group: the MDS's unit of physical space management.
+//
+// Each AG owns a contiguous block range on one device and tracks free
+// space with two B+ trees, exactly as the paper describes ("Each AG has
+// its own B+ tree to allocate and deallocate physical space"): one keyed
+// by offset (for free/coalesce and near-hint allocation) and one keyed by
+// (length, offset) (for best-fit allocation).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "mds/btree.hpp"
+#include "storage/types.hpp"
+
+namespace redbud::mds {
+
+struct FreeExtent {
+  storage::BlockNo offset = 0;
+  std::uint64_t nblocks = 0;
+};
+
+enum class AllocPolicy : std::uint8_t {
+  // Smallest free extent that fits (reduces fragmentation).
+  kBestFit,
+  // First free extent at or after the cursor / hint (improves locality of
+  // successive allocations — what central MDS allocation degenerates from
+  // when several clients interleave).
+  kNextFit,
+};
+
+class AllocGroup {
+ public:
+  AllocGroup(std::uint32_t device, storage::BlockNo start,
+             std::uint64_t nblocks);
+
+  // Allocate a contiguous extent; nullopt when no single free extent is
+  // large enough (the caller may then split the request).
+  [[nodiscard]] std::optional<FreeExtent> alloc(std::uint64_t nblocks,
+                                                AllocPolicy policy);
+  // Allocate preferring space at/after `hint` (falls back to wrap-around).
+  [[nodiscard]] std::optional<FreeExtent> alloc_near(std::uint64_t nblocks,
+                                                     storage::BlockNo hint);
+  // Return an extent to the pool, coalescing with free neighbours.
+  void free(storage::BlockNo offset, std::uint64_t nblocks);
+
+  // Largest single free extent (0 when empty).
+  [[nodiscard]] std::uint64_t largest_free() const;
+  [[nodiscard]] std::uint64_t free_blocks() const { return free_blocks_; }
+  [[nodiscard]] std::uint64_t total_blocks() const { return nblocks_; }
+  [[nodiscard]] std::uint32_t device() const { return device_; }
+  [[nodiscard]] storage::BlockNo cursor() const { return cursor_; }
+  [[nodiscard]] storage::BlockNo start() const { return start_; }
+  [[nodiscard]] storage::BlockNo end() const { return start_ + nblocks_; }
+  [[nodiscard]] std::size_t fragment_count() const { return by_offset_.size(); }
+
+  // Invariant check: the two indexes agree and describe disjoint,
+  // non-adjacent (fully coalesced) extents inside the AG bounds.
+  [[nodiscard]] bool validate() const;
+
+ private:
+  // The by-size index packs (length, offset) into one key; AG-relative
+  // offsets and lengths both fit in 32 bits by construction.
+  [[nodiscard]] static BPlusTree::Key size_key(std::uint64_t nblocks,
+                                               storage::BlockNo offset);
+
+  void remove_free(storage::BlockNo offset, std::uint64_t nblocks);
+  void add_free(storage::BlockNo offset, std::uint64_t nblocks);
+  [[nodiscard]] std::optional<FreeExtent> take(storage::BlockNo offset,
+                                               std::uint64_t have,
+                                               std::uint64_t want);
+
+  std::uint32_t device_;
+  storage::BlockNo start_;
+  std::uint64_t nblocks_;
+  std::uint64_t free_blocks_;
+  storage::BlockNo cursor_;  // next-fit rotating cursor
+  BPlusTree by_offset_;      // offset -> length
+  BPlusTree by_size_;        // (length, offset) -> length (value unused)
+};
+
+}  // namespace redbud::mds

@@ -1,0 +1,368 @@
+#include "mds/btree.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace redbud::mds {
+
+BPlusTree::BPlusTree() : root_(std::make_unique<Node>()) {}
+
+// --- lookup helpers -----------------------------------------------------------
+
+namespace {
+// Index of the child to descend into for `key`: the first separator
+// greater than key selects the child at its index.
+std::size_t child_index(const std::vector<BPlusTree::Key>& keys,
+                        BPlusTree::Key key) {
+  return static_cast<std::size_t>(
+      std::upper_bound(keys.begin(), keys.end(), key) - keys.begin());
+}
+}  // namespace
+
+const BPlusTree::Node* BPlusTree::leaf_for(Key key) const {
+  const Node* n = root_.get();
+  while (!n->leaf) {
+    n = n->children[child_index(n->keys, key)].get();
+  }
+  return n;
+}
+
+std::optional<BPlusTree::Value> BPlusTree::find(Key key) const {
+  const Node* leaf = leaf_for(key);
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it != leaf->keys.end() && *it == key) {
+    return leaf->values[static_cast<std::size_t>(it - leaf->keys.begin())];
+  }
+  return std::nullopt;
+}
+
+std::optional<std::pair<BPlusTree::Key, BPlusTree::Value>>
+BPlusTree::lower_bound(Key key) const {
+  const Node* leaf = leaf_for(key);
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end()) {
+    // All keys in this leaf are smaller; the answer is the first key of
+    // the next leaf (separators guarantee no in-between keys).
+    leaf = leaf->next;
+    if (!leaf || leaf->keys.empty()) return std::nullopt;
+    return std::make_pair(leaf->keys.front(), leaf->values.front());
+  }
+  return std::make_pair(*it, leaf->values[static_cast<std::size_t>(
+                                 it - leaf->keys.begin())]);
+}
+
+std::optional<std::pair<BPlusTree::Key, BPlusTree::Value>> BPlusTree::floor(
+    Key key) const {
+  // Descend greedily toward `key`, remembering the last entry <= key.
+  const Node* n = root_.get();
+  while (!n->leaf) {
+    n = n->children[child_index(n->keys, key)].get();
+  }
+  auto it = std::upper_bound(n->keys.begin(), n->keys.end(), key);
+  if (it != n->keys.begin()) {
+    const auto idx = static_cast<std::size_t>(it - n->keys.begin()) - 1;
+    return std::make_pair(n->keys[idx], n->values[idx]);
+  }
+  // Everything in this leaf is greater: the floor, if any, is the maximum
+  // of the subtree to the left — walk from the root toward `key`, taking
+  // note of left siblings.
+  const Node* best = nullptr;
+  n = root_.get();
+  while (!n->leaf) {
+    const auto idx = child_index(n->keys, key);
+    if (idx > 0) best = n->children[idx - 1].get();
+    n = n->children[idx].get();
+  }
+  if (!best) return std::nullopt;
+  while (!best->leaf) best = best->children.back().get();
+  if (best->keys.empty()) return std::nullopt;
+  return std::make_pair(best->keys.back(), best->values.back());
+}
+
+std::optional<std::pair<BPlusTree::Key, BPlusTree::Value>> BPlusTree::min()
+    const {
+  const Node* n = root_.get();
+  while (!n->leaf) n = n->children.front().get();
+  if (n->keys.empty()) return std::nullopt;
+  return std::make_pair(n->keys.front(), n->values.front());
+}
+
+std::optional<std::pair<BPlusTree::Key, BPlusTree::Value>> BPlusTree::max()
+    const {
+  const Node* n = root_.get();
+  while (!n->leaf) n = n->children.back().get();
+  if (n->keys.empty()) return std::nullopt;
+  return std::make_pair(n->keys.back(), n->values.back());
+}
+
+// --- insert ---------------------------------------------------------------------
+
+bool BPlusTree::insert(Key key, Value value) {
+  bool inserted = false;
+  auto split = insert_rec(*root_, key, value, inserted);
+  if (split) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->keys.push_back(split->separator);
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split->right));
+    root_ = std::move(new_root);
+  }
+  if (inserted) ++size_;
+  return inserted;
+}
+
+std::optional<BPlusTree::SplitResult> BPlusTree::insert_rec(Node& node,
+                                                            Key key,
+                                                            Value value,
+                                                            bool& inserted) {
+  if (node.leaf) {
+    auto it = std::lower_bound(node.keys.begin(), node.keys.end(), key);
+    if (it != node.keys.end() && *it == key) {
+      inserted = false;
+      return std::nullopt;
+    }
+    const auto idx = static_cast<std::size_t>(it - node.keys.begin());
+    node.keys.insert(it, key);
+    node.values.insert(node.values.begin() + std::ptrdiff_t(idx), value);
+    inserted = true;
+    if (node.keys.size() <= kMaxKeys) return std::nullopt;
+
+    // Split the leaf: right half moves to a new node; the separator is
+    // the first key of the right node (B+ convention: separator repeats).
+    auto right = std::make_unique<Node>();
+    right->leaf = true;
+    const std::size_t half = node.keys.size() / 2;
+    right->keys.assign(node.keys.begin() + std::ptrdiff_t(half),
+                       node.keys.end());
+    right->values.assign(node.values.begin() + std::ptrdiff_t(half),
+                         node.values.end());
+    node.keys.resize(half);
+    node.values.resize(half);
+    right->next = node.next;
+    node.next = right.get();
+    return SplitResult{right->keys.front(), std::move(right)};
+  }
+
+  const auto idx = child_index(node.keys, key);
+  auto split = insert_rec(*node.children[idx], key, value, inserted);
+  if (!split) return std::nullopt;
+
+  node.keys.insert(node.keys.begin() + std::ptrdiff_t(idx), split->separator);
+  node.children.insert(node.children.begin() + std::ptrdiff_t(idx) + 1,
+                       std::move(split->right));
+  if (node.keys.size() <= kMaxKeys) return std::nullopt;
+
+  // Split the internal node: the middle key moves *up* (not copied).
+  auto right = std::make_unique<Node>();
+  right->leaf = false;
+  const std::size_t mid = node.keys.size() / 2;
+  const Key up = node.keys[mid];
+  right->keys.assign(node.keys.begin() + std::ptrdiff_t(mid) + 1,
+                     node.keys.end());
+  for (std::size_t i = mid + 1; i < node.children.size(); ++i) {
+    right->children.push_back(std::move(node.children[i]));
+  }
+  node.keys.resize(mid);
+  node.children.resize(mid + 1);
+  return SplitResult{up, std::move(right)};
+}
+
+bool BPlusTree::update(Key key, Value value) {
+  Node* n = root_.get();
+  while (!n->leaf) n = n->children[child_index(n->keys, key)].get();
+  auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
+  if (it == n->keys.end() || *it != key) return false;
+  n->values[static_cast<std::size_t>(it - n->keys.begin())] = value;
+  return true;
+}
+
+// --- erase ----------------------------------------------------------------------
+
+bool BPlusTree::erase(Key key) {
+  if (!erase_rec(*root_, key)) return false;
+  --size_;
+  // Shrink the root when it has become a trivial passthrough.
+  if (!root_->leaf && root_->children.size() == 1) {
+    root_ = std::move(root_->children.front());
+  }
+  return true;
+}
+
+bool BPlusTree::erase_rec(Node& node, Key key) {
+  if (node.leaf) {
+    auto it = std::lower_bound(node.keys.begin(), node.keys.end(), key);
+    if (it == node.keys.end() || *it != key) return false;
+    const auto idx = static_cast<std::size_t>(it - node.keys.begin());
+    node.keys.erase(it);
+    node.values.erase(node.values.begin() + std::ptrdiff_t(idx));
+    return true;
+  }
+  const auto idx = child_index(node.keys, key);
+  if (!erase_rec(*node.children[idx], key)) return false;
+  // Restore the fill invariant of the child we descended into.
+  const Node& child = *node.children[idx];
+  if (child.keys.size() < kMinKeys) rebalance_child(node, idx);
+  return true;
+}
+
+void BPlusTree::rebalance_child(Node& parent, std::size_t idx) {
+  Node& child = *parent.children[idx];
+
+  // Borrow from the left sibling.
+  if (idx > 0) {
+    Node& left = *parent.children[idx - 1];
+    if (left.keys.size() > kMinKeys) {
+      if (child.leaf) {
+        child.keys.insert(child.keys.begin(), left.keys.back());
+        child.values.insert(child.values.begin(), left.values.back());
+        left.keys.pop_back();
+        left.values.pop_back();
+        parent.keys[idx - 1] = child.keys.front();
+      } else {
+        child.keys.insert(child.keys.begin(), parent.keys[idx - 1]);
+        parent.keys[idx - 1] = left.keys.back();
+        left.keys.pop_back();
+        child.children.insert(child.children.begin(),
+                              std::move(left.children.back()));
+        left.children.pop_back();
+      }
+      return;
+    }
+  }
+  // Borrow from the right sibling.
+  if (idx + 1 < parent.children.size()) {
+    Node& right = *parent.children[idx + 1];
+    if (right.keys.size() > kMinKeys) {
+      if (child.leaf) {
+        child.keys.push_back(right.keys.front());
+        child.values.push_back(right.values.front());
+        right.keys.erase(right.keys.begin());
+        right.values.erase(right.values.begin());
+        parent.keys[idx] = right.keys.front();
+      } else {
+        child.keys.push_back(parent.keys[idx]);
+        parent.keys[idx] = right.keys.front();
+        right.keys.erase(right.keys.begin());
+        child.children.push_back(std::move(right.children.front()));
+        right.children.erase(right.children.begin());
+      }
+      return;
+    }
+  }
+  // Merge with a sibling (prefer left).
+  const std::size_t li = idx > 0 ? idx - 1 : idx;  // left node of the pair
+  Node& left = *parent.children[li];
+  Node& right = *parent.children[li + 1];
+  if (left.leaf) {
+    left.keys.insert(left.keys.end(), right.keys.begin(), right.keys.end());
+    left.values.insert(left.values.end(), right.values.begin(),
+                       right.values.end());
+    left.next = right.next;
+  } else {
+    left.keys.push_back(parent.keys[li]);
+    left.keys.insert(left.keys.end(), right.keys.begin(), right.keys.end());
+    for (auto& c : right.children) left.children.push_back(std::move(c));
+  }
+  parent.keys.erase(parent.keys.begin() + std::ptrdiff_t(li));
+  parent.children.erase(parent.children.begin() + std::ptrdiff_t(li) + 1);
+}
+
+// --- introspection ---------------------------------------------------------------
+
+std::size_t BPlusTree::height() const {
+  std::size_t h = 1;
+  const Node* n = root_.get();
+  while (!n->leaf) {
+    ++h;
+    n = n->children.front().get();
+  }
+  return h;
+}
+
+std::size_t BPlusTree::count_nodes(const Node& node) const {
+  std::size_t n = 1;
+  for (const auto& c : node.children) n += count_nodes(*c);
+  return n;
+}
+
+std::size_t BPlusTree::node_count() const { return count_nodes(*root_); }
+
+std::vector<std::pair<BPlusTree::Key, BPlusTree::Value>> BPlusTree::items()
+    const {
+  std::vector<std::pair<Key, Value>> out;
+  out.reserve(size_);
+  const Node* n = root_.get();
+  while (!n->leaf) n = n->children.front().get();
+  for (; n; n = n->next) {
+    for (std::size_t i = 0; i < n->keys.size(); ++i) {
+      out.emplace_back(n->keys[i], n->values[i]);
+    }
+  }
+  return out;
+}
+
+std::size_t BPlusTree::leaf_depth() const {
+  std::size_t d = 0;
+  const Node* n = root_.get();
+  while (!n->leaf) {
+    ++d;
+    n = n->children.front().get();
+  }
+  return d;
+}
+
+bool BPlusTree::validate_rec(const Node& node, bool root, std::size_t depth,
+                             std::size_t expected_leaf_depth, Key lo, Key hi,
+                             bool has_lo, bool has_hi) const {
+  // Key ordering within the node.
+  if (!std::is_sorted(node.keys.begin(), node.keys.end())) return false;
+  if (std::adjacent_find(node.keys.begin(), node.keys.end()) !=
+      node.keys.end()) {
+    return false;
+  }
+  // Range bounds from ancestors. Leaf keys satisfy lo <= k < hi; internal
+  // separators likewise.
+  for (Key k : node.keys) {
+    if (has_lo && k < lo) return false;
+    if (has_hi && k >= hi) return false;
+  }
+  if (node.leaf) {
+    if (depth != expected_leaf_depth) return false;
+    if (node.values.size() != node.keys.size()) return false;
+    if (!root && node.keys.size() < kMinKeys) return false;
+    if (node.keys.size() > kMaxKeys) return false;
+    return true;
+  }
+  if (!node.values.empty()) return false;
+  if (node.children.size() != node.keys.size() + 1) return false;
+  if (!root && node.keys.size() < kMinKeys) return false;
+  if (node.keys.size() > kMaxKeys) return false;
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    const bool child_has_lo = i > 0 || has_lo;
+    const Key child_lo = i > 0 ? node.keys[i - 1] : lo;
+    const bool child_has_hi = i < node.keys.size() || has_hi;
+    const Key child_hi = i < node.keys.size() ? node.keys[i] : hi;
+    if (!validate_rec(*node.children[i], false, depth + 1,
+                      expected_leaf_depth, child_lo, child_hi, child_has_lo,
+                      child_has_hi)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool BPlusTree::validate() const {
+  if (!validate_rec(*root_, true, 0, leaf_depth(), 0, 0, false, false)) {
+    return false;
+  }
+  // Leaf chain must enumerate exactly size_ entries in sorted order.
+  const auto all = items();
+  if (all.size() != size_) return false;
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    if (all[i - 1].first >= all[i].first) return false;
+  }
+  return true;
+}
+
+}  // namespace redbud::mds

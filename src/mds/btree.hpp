@@ -1,0 +1,93 @@
+// B+ tree keyed by 64-bit integers.
+//
+// The paper's MDS manages free space with one B+ tree per allocation
+// group. This is a real B+ tree — sorted internal nodes, linked leaves,
+// split/borrow/merge rebalancing — used twice by each allocation group:
+// keyed by extent offset (for coalescing) and by (length, offset) (for
+// best-fit lookup). validate() checks the full structural invariant set
+// and backs the property tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace redbud::mds {
+
+class BPlusTree {
+ public:
+  using Key = std::uint64_t;
+  using Value = std::uint64_t;
+
+  // Max keys per node. Small enough that rebalancing paths are exercised
+  // constantly by the tests; large enough to keep trees shallow.
+  static constexpr std::size_t kMaxKeys = 16;
+  static constexpr std::size_t kMinKeys = kMaxKeys / 2;
+
+  BPlusTree();
+  ~BPlusTree() = default;
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+  BPlusTree(BPlusTree&&) = default;
+  BPlusTree& operator=(BPlusTree&&) = default;
+
+  // Insert a new key; returns false (and leaves the tree unchanged) when
+  // the key already exists.
+  bool insert(Key key, Value value);
+  // Overwrite an existing key's value; returns false when absent.
+  bool update(Key key, Value value);
+  // Remove a key; returns false when absent.
+  bool erase(Key key);
+
+  [[nodiscard]] std::optional<Value> find(Key key) const;
+  // Smallest entry with key >= `key`.
+  [[nodiscard]] std::optional<std::pair<Key, Value>> lower_bound(Key key) const;
+  // Largest entry with key <= `key`.
+  [[nodiscard]] std::optional<std::pair<Key, Value>> floor(Key key) const;
+  [[nodiscard]] std::optional<std::pair<Key, Value>> min() const;
+  [[nodiscard]] std::optional<std::pair<Key, Value>> max() const;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t height() const;
+  [[nodiscard]] std::size_t node_count() const;
+
+  // Full in-order scan via the leaf chain.
+  [[nodiscard]] std::vector<std::pair<Key, Value>> items() const;
+
+  // Structural invariants: key ordering, separator correctness, fill
+  // factors, uniform leaf depth, leaf-chain consistency. Used by tests.
+  [[nodiscard]] bool validate() const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::vector<Key> keys;
+    std::vector<std::unique_ptr<Node>> children;  // internal only
+    std::vector<Value> values;                    // leaf only
+    Node* next = nullptr;                         // leaf chain
+  };
+
+  struct SplitResult {
+    Key separator;
+    std::unique_ptr<Node> right;
+  };
+
+  [[nodiscard]] const Node* leaf_for(Key key) const;
+  std::optional<SplitResult> insert_rec(Node& node, Key key, Value value,
+                                        bool& inserted);
+  bool erase_rec(Node& node, Key key);
+  void rebalance_child(Node& parent, std::size_t idx);
+  bool validate_rec(const Node& node, bool root, std::size_t depth,
+                    std::size_t leaf_depth, Key lo, Key hi, bool has_lo,
+                    bool has_hi) const;
+  [[nodiscard]] std::size_t leaf_depth() const;
+  [[nodiscard]] std::size_t count_nodes(const Node& node) const;
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace redbud::mds

@@ -1,0 +1,86 @@
+// File metadata: inodes with extent maps, and the flat directory
+// namespace the MDS serves.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace redbud::mds {
+
+// Per-file metadata. The extent map is keyed by file block offset; commits
+// replace any previously-mapped range they overlap (file overwrite).
+class Inode {
+ public:
+  explicit Inode(net::FileId id) : id_(id) {}
+
+  [[nodiscard]] net::FileId id() const { return id_; }
+  [[nodiscard]] std::uint64_t size_bytes() const { return size_bytes_; }
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
+  // Apply a commit: map the extents, trimming/splitting whatever they
+  // overlap, and update the size (sizes never shrink on commit).
+  void apply_commit(const std::vector<net::Extent>& extents,
+                    std::uint64_t new_size_bytes);
+
+  // Extents covering [file_block, file_block + nblocks); trimmed to the
+  // requested range. Holes are simply absent from the result.
+  [[nodiscard]] std::vector<net::Extent> lookup(std::uint64_t file_block,
+                                                std::uint32_t nblocks) const;
+
+  // All extents (for free-on-remove and consistency checking).
+  [[nodiscard]] std::vector<net::Extent> all_extents() const;
+
+  [[nodiscard]] std::size_t extent_count() const { return extents_.size(); }
+
+  // Invariant: extents are disjoint and sorted.
+  [[nodiscard]] bool validate() const;
+
+ private:
+  void insert_trimming(const net::Extent& e);
+
+  net::FileId id_;
+  std::uint64_t size_bytes_ = 0;
+  std::uint64_t version_ = 0;
+  std::map<std::uint64_t, net::Extent> extents_;  // by file_block
+};
+
+// The namespace: directories of name -> file, plus the inode table.
+class Namespace {
+ public:
+  Namespace();
+
+  [[nodiscard]] net::DirId make_dir(net::DirId parent, const std::string& name);
+
+  // Returns kInvalidFile when the name already exists.
+  net::FileId create(net::DirId dir, const std::string& name);
+  [[nodiscard]] std::optional<net::FileId> lookup(net::DirId dir,
+                                                  const std::string& name) const;
+  // Removes the file; returns its extents for the space manager to free,
+  // or nullopt when absent.
+  std::optional<std::vector<net::Extent>> remove(net::DirId dir,
+                                                 const std::string& name);
+
+  [[nodiscard]] Inode* inode(net::FileId id);
+  [[nodiscard]] const Inode* inode(net::FileId id) const;
+
+  [[nodiscard]] std::size_t file_count() const { return inodes_.size(); }
+  [[nodiscard]] std::size_t dir_count() const { return dirs_.size(); }
+  [[nodiscard]] const std::unordered_map<net::FileId, Inode>& inodes() const {
+    return inodes_;
+  }
+
+ private:
+  std::unordered_map<net::DirId, std::unordered_map<std::string, net::FileId>>
+      dirs_;
+  std::unordered_map<net::FileId, Inode> inodes_;
+  net::FileId next_file_ = 1;
+  net::DirId next_dir_ = 1;
+};
+
+}  // namespace redbud::mds

@@ -1,0 +1,123 @@
+#include "mds/space_manager.hpp"
+
+#include <cassert>
+
+namespace redbud::mds {
+
+SpaceManager::SpaceManager(std::uint32_t ndevices,
+                           std::uint64_t blocks_per_device,
+                           SpaceManagerParams params)
+    : params_(params), rng_(params.seed) {
+  assert(ndevices > 0 && params.ags_per_device > 0);
+  const std::uint64_t per_ag = blocks_per_device / params.ags_per_device;
+  assert(per_ag > 0);
+  for (std::uint32_t d = 0; d < ndevices; ++d) {
+    for (std::uint32_t a = 0; a < params.ags_per_device; ++a) {
+      ags_.emplace_back(d, storage::BlockNo(a) * per_ag, per_ag);
+      total_blocks_ += per_ag;
+    }
+  }
+}
+
+std::size_t SpaceManager::pick_ag(std::uint64_t nblocks) {
+  if (params_.across_ags == AgSelect::kMostFree) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < ags_.size(); ++i) {
+      if (ags_[i].free_blocks() > ags_[best].free_blocks()) best = i;
+    }
+    return best;
+  }
+  // Round-robin over AGs that can plausibly serve the request.
+  for (std::size_t tried = 0; tried < ags_.size(); ++tried) {
+    const std::size_t i = rr_next_;
+    rr_next_ = (rr_next_ + 1) % ags_.size();
+    if (ags_[i].free_blocks() >= nblocks) return i;
+  }
+  return rr_next_;
+}
+
+std::vector<PhysExtent> SpaceManager::alloc(std::uint64_t nblocks) {
+  assert(nblocks > 0);
+  std::vector<PhysExtent> out;
+  std::uint64_t remaining = nblocks;
+  std::size_t agi = pick_ag(nblocks);
+
+  for (std::size_t hops = 0; remaining > 0 && hops <= ags_.size(); ) {
+    AllocGroup& ag = ags_[agi];
+    // Grab the largest piece this AG can give, up to what we still need.
+    const std::uint64_t chunk = std::min(remaining, ag.largest_free());
+    if (chunk == 0) {
+      agi = (agi + 1) % ags_.size();
+      ++hops;
+      continue;
+    }
+    std::optional<FreeExtent> got;
+    if (params_.fragmented && !rng_.bernoulli(params_.adjacent_prob)) {
+      // Aged volume: skip a fragmentation gap past the cursor, so
+      // back-to-back central allocations are rarely block-adjacent.
+      const auto gap = std::uint64_t(rng_.uniform_int(
+          params_.frag_gap_min, params_.frag_gap_max));
+      got = ag.alloc_near(chunk, ag.cursor() + gap);
+      if (!got) got = ag.alloc(chunk, params_.within_ag);
+    } else {
+      got = ag.alloc(chunk, params_.within_ag);
+    }
+    assert(got);
+    out.push_back(PhysExtent{{ag.device(), got->offset}, got->nblocks});
+    remaining -= got->nblocks;
+    hops = 0;  // progress resets the give-up counter
+  }
+
+  if (remaining > 0) {
+    for (const auto& e : out) free(e);
+    return {};
+  }
+  return out;
+}
+
+std::optional<PhysExtent> SpaceManager::alloc_contiguous(
+    std::uint64_t nblocks) {
+  assert(nblocks > 0);
+  for (std::size_t tried = 0; tried < ags_.size(); ++tried) {
+    const std::size_t i = rr_next_;
+    rr_next_ = (rr_next_ + 1) % ags_.size();
+    if (ags_[i].largest_free() >= nblocks) {
+      auto got = ags_[i].alloc(nblocks, params_.within_ag);
+      assert(got);
+      return PhysExtent{{ags_[i].device(), got->offset}, got->nblocks};
+    }
+  }
+  return std::nullopt;
+}
+
+AllocGroup* SpaceManager::ag_containing(storage::PhysAddr addr,
+                                        std::uint64_t nblocks) {
+  for (auto& ag : ags_) {
+    if (ag.device() == addr.device && addr.block >= ag.start() &&
+        addr.block + nblocks <= ag.end()) {
+      return &ag;
+    }
+  }
+  return nullptr;
+}
+
+void SpaceManager::free(const PhysExtent& extent) {
+  AllocGroup* ag = ag_containing(extent.addr, extent.nblocks);
+  assert(ag && "freeing an extent that crosses AG boundaries or is foreign");
+  ag->free(extent.addr.block, extent.nblocks);
+}
+
+std::uint64_t SpaceManager::free_blocks() const {
+  std::uint64_t n = 0;
+  for (const auto& ag : ags_) n += ag.free_blocks();
+  return n;
+}
+
+bool SpaceManager::validate() const {
+  for (const auto& ag : ags_) {
+    if (!ag.validate()) return false;
+  }
+  return true;
+}
+
+}  // namespace redbud::mds

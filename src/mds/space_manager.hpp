@@ -1,0 +1,83 @@
+// Physical space management across devices and allocation groups.
+//
+// "All storage devices are divided into allocation groups (AGs). ...
+// Multiple AGs provide parallel allocations. Across AGs, flexible
+// allocation strategies can be applied to the metadata server. The
+// default is round-robin."
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mds/alloc_group.hpp"
+#include "sim/random.hpp"
+#include "storage/types.hpp"
+
+namespace redbud::mds {
+
+struct PhysExtent {
+  storage::PhysAddr addr;
+  std::uint64_t nblocks = 0;
+
+  friend bool operator==(const PhysExtent&, const PhysExtent&) = default;
+};
+
+enum class AgSelect : std::uint8_t {
+  kRoundRobin,  // paper default
+  kMostFree,
+};
+
+struct SpaceManagerParams {
+  std::uint32_t ags_per_device = 4;
+  AllocPolicy within_ag = AllocPolicy::kNextFit;
+  AgSelect across_ags = AgSelect::kRoundRobin;
+  // Aged-volume model: central allocations rarely land adjacent to the
+  // previous one — long-lived AGs are fragmented, and concurrent clients'
+  // requests interleave ("the physical addresses allocated for successive
+  // I/Os often scatter over a large space", §IV-A). Delegated chunks
+  // (alloc_contiguous) are unaffected: carving one contiguous chunk is
+  // exactly what delegation buys.
+  bool fragmented = false;
+  double adjacent_prob = 0.25;  // chance a central alloc continues the last
+  std::uint32_t frag_gap_min = 8;
+  std::uint32_t frag_gap_max = 64;
+  std::uint64_t seed = 0xA110C;
+};
+
+class SpaceManager {
+ public:
+  SpaceManager(std::uint32_t ndevices, std::uint64_t blocks_per_device,
+               SpaceManagerParams params);
+
+  // Allocate `nblocks`, splitting across free extents / AGs when no single
+  // contiguous run exists. Empty result means out of space (all-or-nothing:
+  // partial reservations are rolled back).
+  [[nodiscard]] std::vector<PhysExtent> alloc(std::uint64_t nblocks);
+
+  // Allocate one contiguous extent or nothing — used for delegation
+  // chunks, which must be contiguous to cluster a client's writes.
+  [[nodiscard]] std::optional<PhysExtent> alloc_contiguous(
+      std::uint64_t nblocks);
+
+  void free(const PhysExtent& extent);
+
+  [[nodiscard]] std::uint64_t free_blocks() const;
+  [[nodiscard]] std::uint64_t total_blocks() const { return total_blocks_; }
+  [[nodiscard]] std::size_t ag_count() const { return ags_.size(); }
+  [[nodiscard]] const AllocGroup& ag(std::size_t i) const { return ags_[i]; }
+  [[nodiscard]] bool validate() const;
+
+ private:
+  [[nodiscard]] std::size_t pick_ag(std::uint64_t nblocks);
+  [[nodiscard]] AllocGroup* ag_containing(storage::PhysAddr addr,
+                                          std::uint64_t nblocks);
+
+  SpaceManagerParams params_;
+  std::vector<AllocGroup> ags_;
+  std::uint64_t total_blocks_ = 0;
+  std::size_t rr_next_ = 0;
+  redbud::sim::Rng rng_;
+};
+
+}  // namespace redbud::mds

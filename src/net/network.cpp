@@ -1,0 +1,44 @@
+#include "net/network.hpp"
+
+#include <cassert>
+
+namespace redbud::net {
+
+using redbud::sim::BitPipe;
+using redbud::sim::Done;
+using redbud::sim::Process;
+using redbud::sim::SimFuture;
+using redbud::sim::SimPromise;
+
+Network::Network(redbud::sim::Simulation& sim, NetworkParams params)
+    : sim_(&sim), params_(params) {}
+
+NodeId Network::add_node(double nic_bytes_per_second) {
+  const double bw = nic_bytes_per_second > 0.0 ? nic_bytes_per_second
+                                               : params_.nic_bytes_per_second;
+  auto node = std::make_unique<Node>();
+  node->egress = std::make_unique<BitPipe>(*sim_, bw, params_.link_latency);
+  node->ingress = std::make_unique<BitPipe>(*sim_, bw, params_.link_latency);
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+Process Network::send_proc(NodeId from, NodeId to, std::size_t bytes,
+                           SimPromise<Done> p) {
+  co_await nodes_[from]->egress->transfer(bytes);
+  co_await sim_->delay(params_.switch_latency);
+  co_await nodes_[to]->ingress->transfer(bytes);
+  p.set_value(Done{});
+}
+
+SimFuture<Done> Network::send(NodeId from, NodeId to, std::size_t bytes) {
+  assert(from < nodes_.size() && to < nodes_.size());
+  ++messages_;
+  bytes_ += bytes;
+  SimPromise<Done> p(*sim_);
+  auto fut = p.future();
+  sim_->spawn(send_proc(from, to, bytes, std::move(p)));
+  return fut;
+}
+
+}  // namespace redbud::net

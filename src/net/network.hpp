@@ -1,0 +1,69 @@
+// Star-topology Ethernet model: every node owns an egress and an ingress
+// pipe (its NIC), joined through a switch with fixed fabric latency.
+//
+// Congestion appears exactly where the paper needs it: when many clients
+// flood the MDS with small commit RPCs, the MDS *ingress* pipe and request
+// queue back up, and when NFS3 funnels all data through one server, that
+// server's NIC saturates.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/future.hpp"
+#include "sim/pipe.hpp"
+#include "sim/simulation.hpp"
+
+namespace redbud::net {
+
+using NodeId = std::uint32_t;
+
+struct NetworkParams {
+  // 1000 Mb/s Ethernet minus framing => ~110 MiB/s usable.
+  double nic_bytes_per_second = 110.0 * 1024 * 1024;
+  redbud::sim::SimTime link_latency = redbud::sim::SimTime::micros(30);
+  redbud::sim::SimTime switch_latency = redbud::sim::SimTime::micros(10);
+};
+
+class Network {
+ public:
+  Network(redbud::sim::Simulation& sim, NetworkParams params);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Register a node; returns its id. Optional NIC speed override.
+  NodeId add_node(double nic_bytes_per_second = 0.0);
+
+  // Move `bytes` from `from` to `to`; the future resolves when the last
+  // byte has been received (egress queueing + fabric + ingress queueing).
+  [[nodiscard]] redbud::sim::SimFuture<redbud::sim::Done> send(
+      NodeId from, NodeId to, std::size_t bytes);
+
+  [[nodiscard]] redbud::sim::BitPipe& egress(NodeId n) {
+    return *nodes_[n]->egress;
+  }
+  [[nodiscard]] redbud::sim::BitPipe& ingress(NodeId n) {
+    return *nodes_[n]->ingress;
+  }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
+
+ private:
+  struct Node {
+    std::unique_ptr<redbud::sim::BitPipe> egress;
+    std::unique_ptr<redbud::sim::BitPipe> ingress;
+  };
+
+  redbud::sim::Process send_proc(NodeId from, NodeId to, std::size_t bytes,
+                                 redbud::sim::SimPromise<redbud::sim::Done> p);
+
+  redbud::sim::Simulation* sim_;
+  NetworkParams params_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace redbud::net

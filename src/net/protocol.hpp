@@ -1,0 +1,196 @@
+// RPC protocol vocabulary shared by the Redbud client/MDS and the NFS3 /
+// PVFS2 baseline models.
+//
+// Messages are plain structs carried by value through the simulated
+// network; wire_size() gives the byte count that actually occupies the
+// pipes. CommitReq is the *compound* RPC: one network message carrying the
+// commit entries of several files (its entry count is the paper's
+// "compound degree").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "storage/types.hpp"
+
+namespace redbud::net {
+
+using FileId = std::uint64_t;
+using DirId = std::uint64_t;
+using ClientId = std::uint32_t;
+
+inline constexpr DirId kRootDir = 0;
+inline constexpr FileId kInvalidFile = ~FileId{0};
+
+enum class Status : std::uint8_t {
+  kOk,
+  kNoEnt,
+  kExists,
+  kNoSpace,
+  kStale,
+};
+
+// Mapping of a contiguous file range to physical storage — the paper's
+// <file offset, length, device id, volume offset, state> extent.
+struct Extent {
+  std::uint64_t file_block = 0;  // offset within the file, in blocks
+  std::uint32_t nblocks = 0;
+  storage::PhysAddr addr;
+
+  [[nodiscard]] std::uint64_t end_block() const { return file_block + nblocks; }
+  friend bool operator==(const Extent&, const Extent&) = default;
+};
+
+// --- Redbud metadata ops ----------------------------------------------------
+
+struct CreateReq {
+  DirId dir = kRootDir;
+  std::string name;
+};
+struct CreateResp {
+  Status status = Status::kOk;
+  FileId file = kInvalidFile;
+};
+
+struct LookupReq {
+  DirId dir = kRootDir;
+  std::string name;
+};
+struct LookupResp {
+  Status status = Status::kOk;
+  FileId file = kInvalidFile;
+  std::uint64_t size_bytes = 0;
+};
+
+// Fetch (and for writes, allocate) the layout of a file range.
+struct LayoutGetReq {
+  FileId file = kInvalidFile;
+  std::uint64_t file_block = 0;
+  std::uint32_t nblocks = 0;
+  bool allocate = false;
+};
+struct LayoutGetResp {
+  Status status = Status::kOk;
+  std::vector<Extent> extents;
+};
+
+// One file's worth of metadata commit.
+struct CommitEntry {
+  FileId file = kInvalidFile;
+  std::vector<Extent> extents;
+  std::uint64_t new_size_bytes = 0;
+  // Content checksums, one per block across `extents` in order. Journaled
+  // by the MDS; the crash-consistency checker compares them against the
+  // durable disk state to detect metadata that outran its data.
+  std::vector<storage::ContentToken> block_tokens;
+};
+// Compound commit RPC: `entries.size()` is the compound degree.
+struct CommitReq {
+  std::vector<CommitEntry> entries;
+};
+struct CommitResp {
+  Status status = Status::kOk;
+  // MDS load signal piggybacked for the adaptive compound controller.
+  std::uint32_t mds_queue_len = 0;
+};
+
+// Space delegation: grant this client a contiguous chunk to allocate from
+// locally.
+struct DelegateReq {
+  std::uint64_t nblocks = 0;
+};
+struct DelegateResp {
+  Status status = Status::kOk;
+  storage::PhysAddr start;
+  std::uint64_t nblocks = 0;
+};
+// Return the unused tail of a delegated chunk.
+struct DelegateReturnReq {
+  storage::PhysAddr start;
+  std::uint64_t nblocks = 0;
+};
+
+struct RemoveReq {
+  DirId dir = kRootDir;
+  std::string name;
+};
+struct RemoveResp {
+  Status status = Status::kOk;
+};
+
+struct StatReq {
+  FileId file = kInvalidFile;
+};
+struct StatResp {
+  Status status = Status::kOk;
+  std::uint64_t size_bytes = 0;
+};
+
+// --- NFS3 baseline ops (data flows through the server over Ethernet) --------
+
+struct NfsWriteReq {
+  FileId file = kInvalidFile;
+  std::uint64_t offset_bytes = 0;
+  std::uint32_t nbytes = 0;
+  // UNSTABLE writes buffer on the server; stable writes hit its disk.
+  bool stable = false;
+  std::vector<storage::ContentToken> tokens;  // one per touched block
+};
+struct NfsWriteResp {
+  Status status = Status::kOk;
+};
+
+struct NfsCommitReq {
+  FileId file = kInvalidFile;
+};
+struct NfsCommitResp {
+  Status status = Status::kOk;
+};
+
+struct NfsReadReq {
+  FileId file = kInvalidFile;
+  std::uint64_t offset_bytes = 0;
+  std::uint32_t nbytes = 0;
+};
+struct NfsReadResp {
+  Status status = Status::kOk;
+  std::vector<storage::ContentToken> tokens;  // payload rides in wire_size
+};
+
+// --- PVFS2 baseline ops (user-space servers; data over Ethernet) ------------
+
+struct PvfsIoReq {
+  FileId file = kInvalidFile;
+  std::uint64_t offset_bytes = 0;
+  std::uint32_t nbytes = 0;
+  bool is_write = false;
+  std::vector<storage::ContentToken> tokens;
+};
+struct PvfsIoResp {
+  Status status = Status::kOk;
+  std::vector<storage::ContentToken> tokens;
+};
+
+// -----------------------------------------------------------------------------
+
+using RequestBody =
+    std::variant<CreateReq, LookupReq, LayoutGetReq, CommitReq, DelegateReq,
+                 DelegateReturnReq, RemoveReq, StatReq, NfsWriteReq,
+                 NfsCommitReq, NfsReadReq, PvfsIoReq>;
+
+using ResponseBody =
+    std::variant<CreateResp, LookupResp, LayoutGetResp, CommitResp,
+                 DelegateResp, RemoveResp, StatResp, NfsWriteResp,
+                 NfsCommitResp, NfsReadResp, PvfsIoResp>;
+
+// Wire sizes (bytes) as they occupy network pipes. RPC framing overhead is
+// added by the transport.
+[[nodiscard]] std::size_t wire_size(const RequestBody& body);
+[[nodiscard]] std::size_t wire_size(const ResponseBody& body);
+
+// Human-readable op name, for statistics.
+[[nodiscard]] const char* op_name(const RequestBody& body);
+
+}  // namespace redbud::net

@@ -1,0 +1,141 @@
+#include "net/rpc.hpp"
+
+#include <cassert>
+
+namespace redbud::net {
+
+using redbud::sim::Process;
+using redbud::sim::SimFuture;
+using redbud::sim::SimPromise;
+using redbud::sim::SimTime;
+
+namespace {
+
+// Estimated on-the-wire payload sizes, modelled after typical XDR
+// encodings of comparable protocols.
+struct ReqSize {
+  std::size_t operator()(const CreateReq& r) const { return 48 + r.name.size(); }
+  std::size_t operator()(const LookupReq& r) const { return 48 + r.name.size(); }
+  std::size_t operator()(const LayoutGetReq&) const { return 64; }
+  std::size_t operator()(const CommitReq& r) const {
+    std::size_t s = 16;
+    for (const auto& e : r.entries) {
+      s += 48 + e.extents.size() * 40 + e.block_tokens.size() * 8;
+    }
+    return s;
+  }
+  std::size_t operator()(const DelegateReq&) const { return 32; }
+  std::size_t operator()(const DelegateReturnReq&) const { return 48; }
+  std::size_t operator()(const RemoveReq& r) const { return 48 + r.name.size(); }
+  std::size_t operator()(const StatReq&) const { return 32; }
+  std::size_t operator()(const NfsWriteReq& r) const { return 96 + r.nbytes; }
+  std::size_t operator()(const NfsCommitReq&) const { return 40; }
+  std::size_t operator()(const NfsReadReq&) const { return 64; }
+  std::size_t operator()(const PvfsIoReq& r) const {
+    return 96 + (r.is_write ? r.nbytes : 0);
+  }
+};
+
+struct RespSize {
+  std::size_t operator()(const CreateResp&) const { return 40; }
+  std::size_t operator()(const LookupResp&) const { return 48; }
+  std::size_t operator()(const LayoutGetResp& r) const {
+    return 24 + r.extents.size() * 40;
+  }
+  std::size_t operator()(const CommitResp&) const { return 32; }
+  std::size_t operator()(const DelegateResp&) const { return 48; }
+  std::size_t operator()(const RemoveResp&) const { return 24; }
+  std::size_t operator()(const StatResp&) const { return 40; }
+  std::size_t operator()(const NfsWriteResp&) const { return 40; }
+  std::size_t operator()(const NfsCommitResp&) const { return 32; }
+  std::size_t operator()(const NfsReadResp& r) const {
+    return 48 + r.tokens.size() * storage::kBlockSize;
+  }
+  std::size_t operator()(const PvfsIoResp& r) const {
+    return 48 + r.tokens.size() * storage::kBlockSize;
+  }
+};
+
+struct OpName {
+  const char* operator()(const CreateReq&) const { return "create"; }
+  const char* operator()(const LookupReq&) const { return "lookup"; }
+  const char* operator()(const LayoutGetReq&) const { return "layout_get"; }
+  const char* operator()(const CommitReq&) const { return "commit"; }
+  const char* operator()(const DelegateReq&) const { return "delegate"; }
+  const char* operator()(const DelegateReturnReq&) const {
+    return "delegate_return";
+  }
+  const char* operator()(const RemoveReq&) const { return "remove"; }
+  const char* operator()(const StatReq&) const { return "stat"; }
+  const char* operator()(const NfsWriteReq&) const { return "nfs_write"; }
+  const char* operator()(const NfsCommitReq&) const { return "nfs_commit"; }
+  const char* operator()(const NfsReadReq&) const { return "nfs_read"; }
+  const char* operator()(const PvfsIoReq&) const { return "pvfs_io"; }
+};
+
+}  // namespace
+
+std::size_t wire_size(const RequestBody& body) {
+  return std::visit(ReqSize{}, body);
+}
+std::size_t wire_size(const ResponseBody& body) {
+  return std::visit(RespSize{}, body);
+}
+const char* op_name(const RequestBody& body) {
+  return std::visit(OpName{}, body);
+}
+
+RpcEndpoint::RpcEndpoint(redbud::sim::Simulation& sim, Network& net,
+                         NodeId node)
+    : sim_(&sim), net_(&net), node_(node), incoming_(sim) {}
+
+SimFuture<ResponseBody> RpcEndpoint::call(RpcEndpoint& server,
+                                          RequestBody body) {
+  const std::uint64_t xid = next_xid_++;
+  const std::size_t bytes = kRpcHeaderBytes + wire_size(body);
+
+  SimPromise<ResponseBody> promise(*sim_);
+  auto fut = promise.future();
+  pending_.emplace(xid, PendingCall{std::move(promise), sim_->now()});
+  server.peers_[node_] = this;
+
+  ++calls_sent_;
+  req_bytes_sent_ += bytes;
+  sim_->spawn(deliver_request(&server, xid, std::move(body), bytes));
+  return fut;
+}
+
+Process RpcEndpoint::deliver_request(RpcEndpoint* server, std::uint64_t xid,
+                                     RequestBody body, std::size_t bytes) {
+  co_await net_->send(node_, server->node_, bytes);
+  ++server->calls_received_;
+  const bool ok =
+      server->incoming_.try_send(IncomingRpc{xid, node_, std::move(body)});
+  assert(ok);
+  (void)ok;
+}
+
+void RpcEndpoint::reply(const IncomingRpc& rpc, ResponseBody body) {
+  const std::size_t bytes = kRpcHeaderBytes + wire_size(body);
+  sim_->spawn(deliver_response(rpc.from, rpc.xid, std::move(body), bytes));
+}
+
+Process RpcEndpoint::deliver_response(NodeId to, std::uint64_t xid,
+                                      ResponseBody body, std::size_t bytes) {
+  co_await net_->send(node_, to, bytes);
+  auto it = peers_.find(to);
+  assert(it != peers_.end());
+  it->second->complete_call(xid, std::move(body));
+}
+
+void RpcEndpoint::complete_call(std::uint64_t xid, ResponseBody body) {
+  auto it = pending_.find(xid);
+  assert(it != pending_.end());
+  rtt_.record(sim_->now() - it->second.sent_at);
+  it->second.promise.set_value(std::move(body));
+  pending_.erase(it);
+}
+
+SimTime RpcEndpoint::mean_rtt() const { return rtt_.mean(); }
+
+}  // namespace redbud::net

@@ -1,0 +1,91 @@
+// RPC endpoints over the simulated network.
+//
+// Each endpoint binds to a network node. Clients `call()` a server
+// endpoint and receive a SimFuture of the response; servers pull
+// IncomingRpc records from their request channel and `reply()` when done.
+// The request channel length is the MDS load signal the paper's adaptive
+// compound controller reads.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/channel.hpp"
+#include "sim/future.hpp"
+#include "sim/simulation.hpp"
+#include "net/network.hpp"
+#include "net/protocol.hpp"
+
+namespace redbud::net {
+
+// Fixed per-message framing overhead (RPC header, XID, auth), bytes.
+inline constexpr std::size_t kRpcHeaderBytes = 96;
+
+struct IncomingRpc {
+  std::uint64_t xid = 0;
+  NodeId from = 0;
+  RequestBody body;
+};
+
+class RpcEndpoint {
+ public:
+  RpcEndpoint(redbud::sim::Simulation& sim, Network& net, NodeId node);
+  RpcEndpoint(const RpcEndpoint&) = delete;
+  RpcEndpoint& operator=(const RpcEndpoint&) = delete;
+
+  [[nodiscard]] NodeId node() const { return node_; }
+
+  // Client side: send a request to `server`; future resolves with the
+  // response body once the reply has fully arrived back.
+  [[nodiscard]] redbud::sim::SimFuture<ResponseBody> call(
+      RpcEndpoint& server, RequestBody body);
+
+  // Server side: the queue of requests awaiting processing.
+  [[nodiscard]] redbud::sim::Channel<IncomingRpc>& incoming() {
+    return incoming_;
+  }
+  [[nodiscard]] std::size_t incoming_depth() const { return incoming_.size(); }
+
+  // Server side: answer a pulled request.
+  void reply(const IncomingRpc& rpc, ResponseBody body);
+
+  // --- statistics -----------------------------------------------------------
+  [[nodiscard]] std::uint64_t calls_sent() const { return calls_sent_; }
+  [[nodiscard]] std::uint64_t calls_received() const { return calls_received_; }
+  [[nodiscard]] std::uint64_t request_bytes_sent() const {
+    return req_bytes_sent_;
+  }
+  // Mean observed round-trip time of completed calls from this endpoint —
+  // the network congestion signal for the adaptive compound controller.
+  [[nodiscard]] redbud::sim::SimTime mean_rtt() const;
+  [[nodiscard]] redbud::sim::LatencyHistogram& rtt() { return rtt_; }
+
+ private:
+  friend class RpcRegistry;
+
+  struct PendingCall {
+    redbud::sim::SimPromise<ResponseBody> promise;
+    redbud::sim::SimTime sent_at;
+  };
+
+  redbud::sim::Process deliver_request(RpcEndpoint* server, std::uint64_t xid,
+                                       RequestBody body, std::size_t bytes);
+  redbud::sim::Process deliver_response(NodeId to, std::uint64_t xid,
+                                        ResponseBody body, std::size_t bytes);
+  void complete_call(std::uint64_t xid, ResponseBody body);
+
+  redbud::sim::Simulation* sim_;
+  Network* net_;
+  NodeId node_;
+  redbud::sim::Channel<IncomingRpc> incoming_;
+  std::unordered_map<std::uint64_t, PendingCall> pending_;
+  // Reverse lookup: who do we send replies to. Registered on first call.
+  std::unordered_map<NodeId, RpcEndpoint*> peers_;
+  std::uint64_t next_xid_ = 1;
+  std::uint64_t calls_sent_ = 0;
+  std::uint64_t calls_received_ = 0;
+  std::uint64_t req_bytes_sent_ = 0;
+  redbud::sim::LatencyHistogram rtt_;
+};
+
+}  // namespace redbud::net

@@ -1,0 +1,72 @@
+// FIFO bandwidth server ("store-and-forward pipe") with propagation delay.
+//
+// Models any serialising resource with a byte rate: a NIC egress port, an
+// Ethernet link, a Fibre Channel HBA. Transfers queue behind one another;
+// a transfer of B bytes that starts at `s` finishes transmitting at
+// s + B/bandwidth and arrives at the far end one propagation delay later.
+// The backlog (time until the pipe drains) doubles as the congestion
+// signal used by the adaptive RPC compound controller.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/future.hpp"
+#include "sim/simulation.hpp"
+#include "sim/stats.hpp"
+
+namespace redbud::sim {
+
+class BitPipe {
+ public:
+  BitPipe(Simulation& sim, double bytes_per_second, SimTime latency)
+      : sim_(&sim), bytes_per_second_(bytes_per_second), latency_(latency) {}
+  BitPipe(const BitPipe&) = delete;
+  BitPipe& operator=(const BitPipe&) = delete;
+
+  // Queue a transfer; the returned future resolves when the last byte
+  // arrives at the far end.
+  [[nodiscard]] SimFuture<Done> transfer(std::size_t bytes) {
+    const SimTime arrival = enqueue(bytes);
+    SimPromise<Done> p(*sim_);
+    auto fut = p.future();
+    sim_->call_at(arrival, [p]() mutable { p.set_value(Done{}); });
+    return fut;
+  }
+
+  // Reserve pipe time for a transfer and return its far-end arrival time
+  // without creating a future (for callers that schedule themselves).
+  SimTime enqueue(std::size_t bytes) {
+    const SimTime start = std::max(sim_->now(), next_free_);
+    const SimTime tx = tx_time(bytes);
+    next_free_ = start + tx;
+    meter_.add_bytes(bytes);
+    meter_.add_ops();
+    return next_free_ + latency_;
+  }
+
+  [[nodiscard]] SimTime tx_time(std::size_t bytes) const {
+    return SimTime::seconds_f(double(bytes) / bytes_per_second_);
+  }
+
+  // How long until the pipe drains — 0 when idle. The congestion signal.
+  [[nodiscard]] SimTime backlog() const {
+    return next_free_ <= sim_->now() ? SimTime::zero()
+                                     : next_free_ - sim_->now();
+  }
+  [[nodiscard]] bool idle() const { return backlog() == SimTime::zero(); }
+
+  [[nodiscard]] const ThroughputMeter& meter() const { return meter_; }
+  [[nodiscard]] double bytes_per_second() const { return bytes_per_second_; }
+  [[nodiscard]] SimTime latency() const { return latency_; }
+
+ private:
+  Simulation* sim_;
+  double bytes_per_second_;
+  SimTime latency_;
+  SimTime next_free_ = SimTime::zero();
+  ThroughputMeter meter_;
+};
+
+}  // namespace redbud::sim

@@ -1,0 +1,110 @@
+// Coroutine process type for the simulation kernel.
+//
+// A simulation "process" (an application thread, a commit daemon, a disk
+// servicing loop, ...) is a C++20 coroutine returning `Process`. Processes
+// are spawned onto a Simulation, which schedules every resumption through
+// its event queue — processes never resume each other inline, which keeps
+// stack depth bounded and execution order deterministic.
+//
+//   Process app_thread(Simulation& sim, ClientFs& fs) {
+//     co_await sim.delay(SimTime::millis(1));
+//     co_await fs.write(...);
+//   }
+//   ProcRef h = sim.spawn(app_thread(sim, fs));
+//   co_await h.join();
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <memory>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace redbud::sim {
+
+class Simulation;
+
+// Shared completion state, outliving the coroutine frame so that joiners
+// holding a ProcRef remain valid after the process finishes.
+struct ProcessState {
+  Simulation* sim = nullptr;
+  bool done = false;
+  std::exception_ptr error;
+  std::vector<std::coroutine_handle<>> joiners;
+};
+
+// The coroutine task type. Move-only owner of the (not yet spawned)
+// coroutine frame; Simulation::spawn() consumes it.
+class [[nodiscard]] Process {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(Handle h) noexcept;
+    void await_resume() const noexcept {}
+  };
+
+  struct promise_type {
+    std::shared_ptr<ProcessState> state = std::make_shared<ProcessState>();
+
+    Process get_return_object() {
+      return Process(Handle::from_promise(*this), state);
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept {
+      state->error = std::current_exception();
+    }
+  };
+
+  Process(Process&& o) noexcept : handle_(o.handle_), state_(std::move(o.state_)) {
+    o.handle_ = nullptr;
+  }
+  Process& operator=(Process&&) = delete;
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  ~Process() {
+    if (handle_) handle_.destroy();
+  }
+
+ private:
+  friend class Simulation;
+  Process(Handle h, std::shared_ptr<ProcessState> s)
+      : handle_(h), state_(std::move(s)) {}
+
+  Handle handle_;
+  std::shared_ptr<ProcessState> state_;
+};
+
+// Lightweight, copyable reference to a spawned process.
+class ProcRef {
+ public:
+  ProcRef() = default;
+  explicit ProcRef(std::shared_ptr<ProcessState> s) : state_(std::move(s)) {}
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] bool done() const { return state_ && state_->done; }
+
+  // Awaitable: suspends until the process completes; rethrows the process's
+  // uncaught exception, if any.
+  struct JoinAwaiter {
+    std::shared_ptr<ProcessState> state;
+    bool await_ready() const noexcept { return state->done; }
+    void await_suspend(std::coroutine_handle<> h) {
+      state->joiners.push_back(h);
+    }
+    void await_resume() const {
+      if (state->error) std::rethrow_exception(state->error);
+    }
+  };
+  [[nodiscard]] JoinAwaiter join() const { return JoinAwaiter{state_}; }
+
+ private:
+  std::shared_ptr<ProcessState> state_;
+};
+
+}  // namespace redbud::sim

@@ -1,0 +1,64 @@
+// Deterministic random number generation for workloads.
+//
+// We implement xoshiro256** plus the distributions the workload generators
+// need (uniform, exponential, Pareto, lognormal, Zipf) ourselves, so that
+// results are bit-identical across standard libraries and platforms —
+// std::<distribution> implementations are not portable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace redbud::sim {
+
+// xoshiro256** 1.0 (Blackman & Vigna), seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  [[nodiscard]] std::uint64_t next_u64();
+
+  // Uniform in [0, n) without modulo bias (Lemire's method).
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t n);
+  // Uniform in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  // Uniform in [0, 1).
+  [[nodiscard]] double next_double();
+  [[nodiscard]] double uniform(double lo, double hi);
+  [[nodiscard]] bool bernoulli(double p);
+
+  [[nodiscard]] double exponential(double mean);
+  // Bounded Pareto on [lo, hi] with shape alpha.
+  [[nodiscard]] double pareto(double alpha, double lo, double hi);
+  [[nodiscard]] double lognormal(double mu, double sigma);
+  [[nodiscard]] double normal(double mean, double stddev);
+
+  // Derive an independent stream (for per-client / per-thread RNGs).
+  [[nodiscard]] Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  // Cached second value for the Box-Muller normal generator.
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+// Zipf-distributed integers in [0, n) with parameter theta (0 = uniform,
+// ~0.99 = typical web popularity skew). Uses the Gray et al. rejection
+// method with precomputed constants so sampling is O(1).
+class Zipf {
+ public:
+  Zipf(std::uint64_t n, double theta);
+  [[nodiscard]] std::uint64_t sample(Rng& rng) const;
+  [[nodiscard]] std::uint64_t n() const { return n_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+};
+
+}  // namespace redbud::sim

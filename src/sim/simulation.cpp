@@ -1,0 +1,92 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace redbud::sim {
+
+Simulation::~Simulation() {
+  // Destroy any still-suspended frames (perpetual daemons). Locals in those
+  // frames must not touch other simulation components from destructors.
+  for (auto h : live_) h.destroy();
+}
+
+ProcRef Simulation::spawn(Process p) {
+  assert(p.handle_ && "spawning a moved-from Process");
+  auto h = p.handle_;
+  p.handle_ = nullptr;  // ownership transfers to the kernel
+  h.promise().state->sim = this;
+  live_.push_back(h);
+  schedule_now(h);
+  return ProcRef(p.state_);
+}
+
+void Simulation::schedule_at(SimTime at, std::coroutine_handle<> h) {
+  assert(at >= now_ && "scheduling into the past");
+  queue_.push(Event{at, next_seq_++, h, nullptr});
+}
+
+void Simulation::call_at(SimTime at, std::function<void()> fn) {
+  assert(at >= now_ && "scheduling into the past");
+  queue_.push(Event{at, next_seq_++, nullptr, std::move(fn)});
+}
+
+void Simulation::dispatch(Event& ev) {
+  now_ = ev.at;
+  ++events_processed_;
+  if (ev.h) {
+    ev.h.resume();
+  } else {
+    ev.fn();
+  }
+  // Retire frames that hit final suspension while the event ran.
+  for (auto h : retired_) {
+    live_.erase(std::remove(live_.begin(), live_.end(),
+                            static_cast<std::coroutine_handle<>>(h)),
+                live_.end());
+    h.destroy();
+  }
+  retired_.clear();
+}
+
+void Simulation::run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    Event ev = queue_.top();
+    queue_.pop();
+    dispatch(ev);
+  }
+}
+
+void Simulation::run_until(SimTime t) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.top().at <= t) {
+    Event ev = queue_.top();
+    queue_.pop();
+    dispatch(ev);
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+}
+
+void Simulation::on_process_done(Process::Handle h) {
+  auto& st = *h.promise().state;
+  st.done = true;
+  if (st.error && st.joiners.empty()) {
+    failures_.push_back(st.error);
+  }
+  for (auto j : st.joiners) schedule_now(j);
+  st.joiners.clear();
+  retired_.push_back(h);
+}
+
+void Simulation::check_failures() const {
+  if (!failures_.empty()) std::rethrow_exception(failures_.front());
+}
+
+void Process::FinalAwaiter::await_suspend(Process::Handle h) noexcept {
+  auto* sim = h.promise().state->sim;
+  assert(sim && "process finished without having been spawned");
+  sim->on_process_done(h);
+}
+
+}  // namespace redbud::sim

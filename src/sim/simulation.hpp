@@ -1,0 +1,106 @@
+// Discrete-event simulation kernel.
+//
+// Single-threaded, deterministic: events are ordered by (time, sequence
+// number), where the sequence number is a monotonically increasing tie
+// breaker, so two runs with the same seed replay identically.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/process.hpp"
+#include "sim/time.hpp"
+
+namespace redbud::sim {
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+  ~Simulation();
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  // Spawn a process; its first resumption is scheduled at the current time.
+  ProcRef spawn(Process p);
+
+  // Awaitable that resumes the caller after `d` of virtual time. A zero
+  // delay still goes through the event queue (FIFO yield).
+  struct Delay {
+    Simulation* sim;
+    SimTime dur;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sim->schedule_in(dur, h);
+    }
+    void await_resume() const noexcept {}
+  };
+  [[nodiscard]] Delay delay(SimTime d) { return Delay{this, d}; }
+  [[nodiscard]] Delay yield() { return Delay{this, SimTime::zero()}; }
+
+  // Run until the event queue drains (beware: perpetual daemons never
+  // drain; prefer run_until for systems with background processes).
+  void run();
+  // Run until virtual time exceeds `t`; `now()` is exactly `t` afterwards.
+  void run_until(SimTime t);
+  // Request the run loop to stop after the current event.
+  void stop() { stopped_ = true; }
+
+  // Schedule a raw coroutine handle (used by synchronization primitives).
+  void schedule_in(SimTime after, std::coroutine_handle<> h) {
+    schedule_at(now_ + after, h);
+  }
+  void schedule_at(SimTime at, std::coroutine_handle<> h);
+  void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
+
+  // Schedule a plain callback (timer) — used sparingly, e.g. by samplers.
+  void call_at(SimTime at, std::function<void()> fn);
+  void call_in(SimTime after, std::function<void()> fn) {
+    call_at(now_ + after, std::move(fn));
+  }
+
+  // Failure accounting: processes that terminated with an uncaught
+  // exception and were never joined.
+  [[nodiscard]] std::size_t failure_count() const { return failures_.size(); }
+  // Throws the first recorded unjoined failure (no-op when clean).
+  void check_failures() const;
+
+  [[nodiscard]] std::uint64_t events_processed() const {
+    return events_processed_;
+  }
+  [[nodiscard]] std::size_t live_processes() const { return live_.size(); }
+
+ private:
+  friend struct Process::FinalAwaiter;
+
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    std::coroutine_handle<> h;      // exactly one of h / fn is set
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  void on_process_done(Process::Handle h);
+  void dispatch(Event& ev);
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // Frames of spawned processes still alive (owned by the kernel).
+  std::vector<std::coroutine_handle<>> live_;
+  // Frames that reached final suspension during the current dispatch.
+  std::vector<std::coroutine_handle<>> retired_;
+  std::vector<std::exception_ptr> failures_;
+};
+
+}  // namespace redbud::sim

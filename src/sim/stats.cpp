@@ -1,0 +1,105 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+
+namespace redbud::sim {
+
+LatencyHistogram::LatencyHistogram()
+    : buckets_(kBucketsPerDecade * kDecades, 0) {}
+
+int LatencyHistogram::bucket_for(SimTime t) {
+  const double us = std::max(t.to_micros(), 1.0);
+  const double log10us = std::log10(us);
+  int idx = static_cast<int>(log10us * kBucketsPerDecade);
+  return std::clamp(idx, 0, kBucketsPerDecade * kDecades - 1);
+}
+
+SimTime LatencyHistogram::bucket_lower(int idx) {
+  const double us = std::pow(10.0, double(idx) / kBucketsPerDecade);
+  return SimTime::micros_f(us);
+}
+
+void LatencyHistogram::record(SimTime latency) {
+  ++buckets_[static_cast<std::size_t>(bucket_for(latency))];
+  ++count_;
+  sum_ns_ += latency.ns();
+  min_ = std::min(min_, latency);
+  max_ = std::max(max_, latency);
+}
+
+SimTime LatencyHistogram::mean() const {
+  return count_ == 0 ? SimTime::zero()
+                     : SimTime::nanos(sum_ns_ / std::int64_t(count_));
+}
+
+SimTime LatencyHistogram::percentile(double p) const {
+  assert(p > 0.0 && p <= 100.0);
+  if (count_ == 0) return SimTime::zero();
+  const auto target =
+      static_cast<std::uint64_t>(std::ceil(double(count_) * p / 100.0));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (cum >= target) return bucket_lower(static_cast<int>(i) + 1);
+  }
+  return max_;
+}
+
+void LatencyHistogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ns_ = 0;
+  min_ = SimTime::max();
+  max_ = SimTime::zero();
+}
+
+double TimeSeries::max_value() const {
+  double m = 0.0;
+  for (const auto& p : points_) m = std::max(m, p.value);
+  return m;
+}
+
+double TimeSeries::mean_value() const {
+  if (points_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& p : points_) s += p.value;
+  return s / double(points_.size());
+}
+
+bool TimeSeries::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "time_s," << name_ << "\n";
+  for (const auto& p : points_) {
+    out << p.at.to_seconds() << "," << p.value << "\n";
+  }
+  return bool(out);
+}
+
+void Gauge::set(SimTime now, double value) {
+  if (!started_) {
+    started_ = true;
+    start_ = now;
+    last_change_ = now;
+    value_ = value;
+    max_ = value;
+    return;
+  }
+  integral_ += value_ * (now - last_change_).to_seconds();
+  last_change_ = now;
+  value_ = value;
+  max_ = std::max(max_, value);
+}
+
+double Gauge::time_weighted_mean(SimTime now) const {
+  if (!started_ || now <= start_) return value_;
+  const double total =
+      integral_ + value_ * (now - last_change_).to_seconds();
+  return total / (now - start_).to_seconds();
+}
+
+}  // namespace redbud::sim

@@ -1,0 +1,115 @@
+// Counting semaphore and broadcast signal for simulation processes.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace redbud::sim {
+
+// FIFO counting semaphore with direct permit hand-off (a released permit
+// goes straight to the oldest waiter; it cannot be stolen by a later
+// acquirer that runs before the waiter resumes).
+class Semaphore {
+ public:
+  Semaphore(Simulation& sim, std::size_t initial)
+      : sim_(&sim), count_(initial) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  [[nodiscard]] std::size_t available() const { return count_; }
+  [[nodiscard]] std::size_t waiters() const { return waiters_.size(); }
+
+  struct Acquire {
+    Semaphore* s;
+    bool await_ready() {
+      if (s->count_ > 0) {
+        --s->count_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      s->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+  [[nodiscard]] Acquire acquire() { return Acquire{this}; }
+
+  bool try_acquire() {
+    if (count_ == 0) return false;
+    --count_;
+    return true;
+  }
+
+  void release(std::size_t n = 1) {
+    while (n > 0 && !waiters_.empty()) {
+      sim_->schedule_now(waiters_.front());
+      waiters_.pop_front();
+      --n;
+    }
+    count_ += n;
+  }
+
+ private:
+  Simulation* sim_;
+  std::size_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// RAII permit for Semaphore (acquire with `co_await sem.acquire()` first).
+class SemaphoreGuard {
+ public:
+  explicit SemaphoreGuard(Semaphore& s) : s_(&s) {}
+  SemaphoreGuard(const SemaphoreGuard&) = delete;
+  SemaphoreGuard& operator=(const SemaphoreGuard&) = delete;
+  ~SemaphoreGuard() {
+    if (s_) s_->release();
+  }
+
+ private:
+  Semaphore* s_;
+};
+
+// Broadcast condition signal. Waiters must re-check their predicate in a
+// loop, as with a condition variable:
+//
+//   while (!pred()) co_await signal.wait();
+class Signal {
+ public:
+  explicit Signal(Simulation& sim) : sim_(&sim) {}
+  Signal(const Signal&) = delete;
+  Signal& operator=(const Signal&) = delete;
+
+  [[nodiscard]] std::size_t waiters() const { return waiters_.size(); }
+
+  struct Wait {
+    Signal* s;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      s->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+  [[nodiscard]] Wait wait() { return Wait{this}; }
+
+  void notify_all() {
+    for (auto h : waiters_) sim_->schedule_now(h);
+    waiters_.clear();
+  }
+  void notify_one() {
+    if (waiters_.empty()) return;
+    sim_->schedule_now(waiters_.front());
+    waiters_.erase(waiters_.begin());
+  }
+
+ private:
+  Simulation* sim_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace redbud::sim

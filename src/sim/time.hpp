@@ -1,0 +1,96 @@
+// Virtual time for the discrete-event simulation.
+//
+// SimTime is a strong integer-nanosecond type: cheap to copy, exact (no
+// floating-point drift across long runs), and wide enough for ~292 years of
+// simulated time. All simulation components express latencies in SimTime.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace redbud::sim {
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  [[nodiscard]] static constexpr SimTime nanos(std::int64_t n) {
+    return SimTime(n);
+  }
+  [[nodiscard]] static constexpr SimTime micros(std::int64_t u) {
+    return SimTime(u * 1000);
+  }
+  [[nodiscard]] static constexpr SimTime millis(std::int64_t m) {
+    return SimTime(m * 1'000'000);
+  }
+  [[nodiscard]] static constexpr SimTime seconds(std::int64_t s) {
+    return SimTime(s * 1'000'000'000);
+  }
+  // Fractional constructors, rounding to the nearest nanosecond.
+  [[nodiscard]] static constexpr SimTime micros_f(double u) {
+    return SimTime(static_cast<std::int64_t>(u * 1e3 + 0.5));
+  }
+  [[nodiscard]] static constexpr SimTime millis_f(double m) {
+    return SimTime(static_cast<std::int64_t>(m * 1e6 + 0.5));
+  }
+  [[nodiscard]] static constexpr SimTime seconds_f(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e9 + 0.5));
+  }
+
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime(0); }
+  [[nodiscard]] static constexpr SimTime max() {
+    return SimTime(std::numeric_limits<std::int64_t>::max());
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_micros() const { return ns_ / 1e3; }
+  [[nodiscard]] constexpr double to_millis() const { return ns_ / 1e6; }
+  [[nodiscard]] constexpr double to_seconds() const { return ns_ / 1e9; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime& operator+=(SimTime o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  [[nodiscard]] friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime(a.ns_ + b.ns_);
+  }
+  [[nodiscard]] friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime(a.ns_ - b.ns_);
+  }
+  [[nodiscard]] friend constexpr SimTime operator*(SimTime a, std::int64_t k) {
+    return SimTime(a.ns_ * k);
+  }
+  [[nodiscard]] friend constexpr SimTime operator*(std::int64_t k, SimTime a) {
+    return a * k;
+  }
+  [[nodiscard]] friend constexpr SimTime operator*(SimTime a, double k) {
+    return SimTime(static_cast<std::int64_t>(a.ns_ * k + 0.5));
+  }
+  [[nodiscard]] friend constexpr double operator/(SimTime a, SimTime b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+  [[nodiscard]] friend constexpr SimTime operator/(SimTime a, std::int64_t k) {
+    return SimTime(a.ns_ / k);
+  }
+
+  [[nodiscard]] std::string str() const {
+    if (ns_ >= 1'000'000'000) return std::to_string(to_seconds()) + "s";
+    if (ns_ >= 1'000'000) return std::to_string(to_millis()) + "ms";
+    if (ns_ >= 1'000) return std::to_string(to_micros()) + "us";
+    return std::to_string(ns_) + "ns";
+  }
+
+ private:
+  explicit constexpr SimTime(std::int64_t n) : ns_(n) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace redbud::sim

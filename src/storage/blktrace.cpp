@@ -1,0 +1,37 @@
+#include "storage/blktrace.hpp"
+
+#include <cmath>
+#include <fstream>
+
+namespace redbud::storage {
+
+std::uint64_t BlkTrace::seek_count() const {
+  std::uint64_t n = 0;
+  for (const auto& e : events_) {
+    if (e.seek_distance != 0) ++n;
+  }
+  return n;
+}
+
+double BlkTrace::mean_abs_seek() const {
+  if (events_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& e : events_) {
+    sum += std::abs(double(e.seek_distance));
+  }
+  return sum / double(events_.size());
+}
+
+bool BlkTrace::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "time_s,kind,block,nblocks,seek_distance\n";
+  for (const auto& e : events_) {
+    out << e.at.to_seconds() << ','
+        << (e.kind == IoKind::kWrite ? 'W' : 'R') << ',' << e.block << ','
+        << e.nblocks << ',' << e.seek_distance << '\n';
+  }
+  return bool(out);
+}
+
+}  // namespace redbud::storage

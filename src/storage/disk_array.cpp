@@ -1,0 +1,124 @@
+#include "storage/disk_array.hpp"
+
+#include <cassert>
+
+namespace redbud::storage {
+
+using redbud::sim::Done;
+using redbud::sim::Process;
+using redbud::sim::SimFuture;
+using redbud::sim::SimPromise;
+
+ContentToken make_token(std::uint64_t file_id, std::uint64_t block_in_file,
+                        std::uint64_t version) {
+  // SplitMix64-style mix of the three coordinates; never the unwritten
+  // sentinel.
+  std::uint64_t z = file_id * 0x9E3779B97F4A7C15ULL +
+                    block_in_file * 0xBF58476D1CE4E5B9ULL +
+                    version * 0x94D049BB133111EBULL + 0x2545F4914F6CDD1DULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return z == kUnwrittenToken ? 1 : z;
+}
+
+DiskArray::DiskArray(redbud::sim::Simulation& sim, ArrayParams params)
+    : sim_(&sim), params_(params) {
+  assert(params_.ndisks > 0);
+  for (std::uint32_t i = 0; i < params_.ndisks; ++i) {
+    DiskParams dp = params_.disk;
+    dp.seed = params_.disk.seed + i;
+    disks_.push_back(std::make_unique<Disk>(sim, dp));
+    schedulers_.push_back(
+        std::make_unique<IoScheduler>(sim, *disks_.back(), params_.scheduler));
+  }
+  fc_ = std::make_unique<redbud::sim::BitPipe>(
+      sim, params_.fc_bytes_per_second, params_.fc_latency);
+}
+
+void DiskArray::start() {
+  for (auto& s : schedulers_) s->start();
+}
+
+Process DiskArray::write_proc(PhysAddr addr, std::uint32_t nblocks,
+                              std::vector<ContentToken> tokens,
+                              SimPromise<Done> p) {
+  co_await fc_->transfer(std::size_t(nblocks) * kBlockSize);
+  // Future obtained in its own statement: GCC 12 double-destroys
+  // non-trivially-destructible by-value call arguments placed inside a
+  // co_await expression, so never pass the token vector there directly.
+  auto io = schedulers_[addr.device]->submit(IoKind::kWrite, addr.block,
+                                             nblocks, std::move(tokens));
+  co_await io;
+  p.set_value(Done{});
+}
+
+Process DiskArray::read_proc(PhysAddr addr, std::uint32_t nblocks,
+                             SimPromise<Done> p) {
+  co_await schedulers_[addr.device]->submit(IoKind::kRead, addr.block, nblocks);
+  co_await fc_->transfer(std::size_t(nblocks) * kBlockSize);
+  p.set_value(Done{});
+}
+
+SimFuture<Done> DiskArray::write(PhysAddr addr, std::uint32_t nblocks,
+                                 std::vector<ContentToken> tokens) {
+  assert(addr.device < disks_.size());
+  assert(tokens.size() == nblocks);
+  SimPromise<Done> p(*sim_);
+  auto fut = p.future();
+  sim_->spawn(write_proc(addr, nblocks, std::move(tokens), std::move(p)));
+  return fut;
+}
+
+SimFuture<Done> DiskArray::read(PhysAddr addr, std::uint32_t nblocks) {
+  assert(addr.device < disks_.size());
+  SimPromise<Done> p(*sim_);
+  auto fut = p.future();
+  sim_->spawn(read_proc(addr, nblocks, std::move(p)));
+  return fut;
+}
+
+std::vector<ContentToken> DiskArray::peek(PhysAddr addr,
+                                          std::uint32_t nblocks) const {
+  return disks_[addr.device]->load(addr.block, nblocks);
+}
+
+std::uint64_t DiskArray::total_submitted() const {
+  std::uint64_t n = 0;
+  for (const auto& s : schedulers_) n += s->submitted();
+  return n;
+}
+
+std::uint64_t DiskArray::total_dispatched() const {
+  std::uint64_t n = 0;
+  for (const auto& s : schedulers_) n += s->dispatched();
+  return n;
+}
+
+std::uint64_t DiskArray::total_merged() const {
+  std::uint64_t n = 0;
+  for (const auto& s : schedulers_) n += s->merged();
+  return n;
+}
+
+double DiskArray::merge_ratio() const {
+  const auto sub = total_submitted();
+  return sub == 0 ? 0.0 : double(total_merged()) / double(sub);
+}
+
+double DiskArray::write_merge_ratio() const {
+  std::uint64_t sub = 0;
+  std::uint64_t merged = 0;
+  for (const auto& s : schedulers_) {
+    sub += s->submitted_writes();
+    merged += s->merged_writes();
+  }
+  return sub == 0 ? 0.0 : double(merged) / double(sub);
+}
+
+void DiskArray::reset_stats() {
+  for (auto& s : schedulers_) s->reset_stats();
+  for (auto& d : disks_) d->reset_stats();
+}
+
+}  // namespace redbud::storage

@@ -1,0 +1,43 @@
+// Common block-layer types.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace redbud::storage {
+
+// The file systems in this repository operate on 4 KiB blocks.
+inline constexpr std::uint64_t kBlockSize = 4096;
+
+using BlockNo = std::uint64_t;
+
+[[nodiscard]] inline constexpr std::uint64_t blocks_for_bytes(std::uint64_t bytes) {
+  return (bytes + kBlockSize - 1) / kBlockSize;
+}
+
+enum class IoKind : std::uint8_t { kRead, kWrite };
+
+// A physical address on the disk array: device + block within its volume.
+struct PhysAddr {
+  std::uint32_t device = 0;
+  BlockNo block = 0;
+
+  friend constexpr bool operator==(const PhysAddr&, const PhysAddr&) = default;
+};
+
+// Content tokens stand in for real page contents: each written block
+// carries a 64-bit token (a hash of file id / offset / version computed by
+// the writer). Reads return the stored tokens, so end-to-end data
+// verification and crash-consistency checks are real, not cosmetic.
+using ContentToken = std::uint64_t;
+
+// Token for a block that was never written.
+inline constexpr ContentToken kUnwrittenToken = 0;
+
+[[nodiscard]] ContentToken make_token(std::uint64_t file_id,
+                                      std::uint64_t block_in_file,
+                                      std::uint64_t version);
+
+}  // namespace redbud::storage

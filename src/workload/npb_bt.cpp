@@ -1,0 +1,99 @@
+#include "workload/npb_bt.hpp"
+
+#include <string>
+
+namespace redbud::workload {
+
+using net::Status;
+using redbud::sim::Process;
+using redbud::sim::SimTime;
+using redbud::sim::Simulation;
+
+NpbBtWorkload::NpbBtWorkload(NpbBtParams params) : params_(params) {}
+
+NpbBtWorkload::ClientState& NpbBtWorkload::state_for(
+    std::uint32_t client_id) {
+  while (states_.size() <= client_id) {
+    states_.push_back(std::make_unique<ClientState>());
+  }
+  return *states_[client_id];
+}
+
+Process NpbBtWorkload::prepare(Simulation& sim, fsapi::FsClient& fs,
+                               std::uint32_t client_id,
+                               WorkloadContext& ctx) {
+  (void)ctx;
+  ClientState& st = state_for(client_id);
+  st.barrier = std::make_unique<Barrier>(sim, params_.ranks_per_client);
+  auto cfut = fs.create(net::kRootDir, "bt.out.c" + std::to_string(client_id));
+  st.file = co_await cfut;
+}
+
+Process NpbBtWorkload::barrier_wait(Simulation& sim, Barrier& b) {
+  const std::uint64_t gen = b.generation;
+  if (++b.waiting == b.parties) {
+    b.waiting = 0;
+    ++b.generation;
+    b.signal.notify_all();
+    co_await sim.yield();  // let released ranks run in FIFO order
+    co_return;
+  }
+  while (b.generation == gen) co_await b.signal.wait();
+}
+
+Process NpbBtWorkload::thread(Simulation& sim, fsapi::FsClient& fs,
+                              std::uint32_t client_id, std::uint32_t rank,
+                              WorkloadContext& ctx) {
+  ClientState& st = state_for(client_id);
+  if (st.file == net::kInvalidFile) {
+    ++ctx.op_errors;
+    co_return;
+  }
+  const std::uint64_t chunk = params_.chunk_bytes;
+  const std::uint32_t nranks = params_.ranks_per_client;
+
+  // Write phase: at each timestep, rank r writes the r-th interleaved
+  // chunk of the step's region (BT-IO's blocked-cyclic layout).
+  for (std::uint32_t step = 0; step < params_.timesteps; ++step) {
+    co_await sim.delay(params_.compute_per_step);  // the solver phase
+    const std::uint64_t offset =
+        (std::uint64_t(step) * nranks + rank) * chunk;
+    const SimTime t0 = sim.now();
+    auto wfut = fs.write(st.file, offset, params_.chunk_bytes);
+    const Status ws = co_await wfut;
+    if (ws != Status::kOk) ++ctx.op_errors;
+    ctx.note(ctx.write_ops, sim.now() - t0, chunk);
+    auto bref = sim.spawn(barrier_wait(sim, *st.barrier));
+    co_await bref.join();
+  }
+
+  // Verification phase: every rank reads the WHOLE file back and checks
+  // its own chunks (reads of other ranks' chunks may race their commits —
+  // the conflict reads Figure 3 shows are unharmed by delayed commit).
+  const std::uint64_t total =
+      std::uint64_t(params_.timesteps) * nranks * chunk;
+  const std::uint64_t blocks_per_chunk = chunk / storage::kBlockSize;
+  for (std::uint64_t off = 0; off < total; off += chunk) {
+    const SimTime t0 = sim.now();
+    auto rfut = fs.read(st.file, off, params_.chunk_bytes);
+    fsapi::ReadResult rr = co_await rfut;
+    if (rr.status != Status::kOk) {
+      ++ctx.op_errors;
+      continue;
+    }
+    // All ranks of a client share the FsClient, and the per-step barrier
+    // guarantees every chunk was written before verification starts — so
+    // every block is strictly checkable.
+    const std::uint64_t first_block = off / storage::kBlockSize;
+    for (std::uint64_t b = 0; b < blocks_per_chunk; ++b) {
+      const auto expect = fs.expected_token(st.file, first_block + b);
+      if (rr.tokens[b] != expect) ++ctx.verify_failures;
+    }
+    ctx.note(ctx.read_ops, sim.now() - t0, chunk);
+  }
+  // Final barrier so the makespan covers every rank.
+  auto bref = sim.spawn(barrier_wait(sim, *st.barrier));
+  co_await bref.join();
+}
+
+}  // namespace redbud::workload

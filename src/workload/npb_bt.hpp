@@ -1,0 +1,69 @@
+// NPB BT-IO style workload (§V-B, §V-C).
+//
+// Emulates the I/O pattern of the NAS Parallel Benchmarks BT class with
+// the IO extension: several MPI ranks per client collectively write a
+// shared checkpoint file in interleaved chunks over a number of
+// timesteps, then "written data is read out into memory to verify the
+// correctness at the end of the program" — those read-backs may hit data
+// whose commits are still in flight (the paper's conflict reads), and
+// this workload verifies every block.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/sync.hpp"
+#include "workload/workload.hpp"
+
+namespace redbud::workload {
+
+struct NpbBtParams {
+  std::uint32_t ranks_per_client = 4;
+  std::uint32_t timesteps = 5;
+  // Bytes each rank writes per timestep (one interleaved chunk).
+  std::uint32_t chunk_bytes = 256 * 1024;
+  // BT is compute-bound: each timestep solves block-tridiagonal systems
+  // before writing. This keeps the four protocols comparable (the paper
+  // sees "no significant difference" on NPB).
+  redbud::sim::SimTime compute_per_step = redbud::sim::SimTime::millis(150);
+};
+
+class NpbBtWorkload final : public Workload {
+ public:
+  explicit NpbBtWorkload(NpbBtParams params = {});
+  [[nodiscard]] std::string name() const override { return "NPB-BT"; }
+  [[nodiscard]] std::uint32_t threads_per_client() const override {
+    return params_.ranks_per_client;
+  }
+  [[nodiscard]] bool fixed_work() const override { return true; }
+
+  redbud::sim::Process prepare(redbud::sim::Simulation&, fsapi::FsClient&,
+                               std::uint32_t, WorkloadContext&) override;
+  redbud::sim::Process thread(redbud::sim::Simulation&, fsapi::FsClient&,
+                              std::uint32_t, std::uint32_t,
+                              WorkloadContext&) override;
+
+ private:
+  // Reusable rendezvous barrier for one client's ranks.
+  struct Barrier {
+    explicit Barrier(redbud::sim::Simulation& sim, std::uint32_t n)
+        : signal(sim), parties(n) {}
+    redbud::sim::Signal signal;
+    std::uint32_t parties;
+    std::uint32_t waiting = 0;
+    std::uint64_t generation = 0;
+  };
+  struct ClientState {
+    net::FileId file = net::kInvalidFile;
+    std::unique_ptr<Barrier> barrier;
+  };
+
+  redbud::sim::Process barrier_wait(redbud::sim::Simulation& sim, Barrier& b);
+
+  NpbBtParams params_;
+  std::vector<std::unique_ptr<ClientState>> states_;
+  ClientState& state_for(std::uint32_t client_id);
+};
+
+}  // namespace redbud::workload

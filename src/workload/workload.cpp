@@ -1,0 +1,100 @@
+#include "workload/workload.hpp"
+
+#include <utility>
+
+namespace redbud::workload {
+
+using redbud::sim::Process;
+using redbud::sim::ProcRef;
+using redbud::sim::Simulation;
+using redbud::sim::SimTime;
+
+Process Workload::prepare(Simulation& sim, fsapi::FsClient& fs,
+                          std::uint32_t client_id, WorkloadContext& ctx) {
+  (void)fs;
+  (void)client_id;
+  (void)ctx;
+  co_await sim.yield();
+}
+
+WorkloadResult run_workload(core::Testbed& bed, Workload& w,
+                            const RunOptions& opt) {
+  auto& sim = bed.sim();
+  WorkloadContext ctx(opt.seed);
+
+  // Preparation phase: run every client's prepare() to completion.
+  {
+    std::vector<ProcRef> preps;
+    for (std::size_t c = 0; c < bed.nclients(); ++c) {
+      preps.push_back(sim.spawn(
+          w.prepare(sim, bed.fs(c), static_cast<std::uint32_t>(c), ctx)));
+    }
+    bool all_done = false;
+    while (!all_done) {
+      sim.run_until(sim.now() + SimTime::seconds(1));
+      all_done = true;
+      for (const auto& p : preps) all_done = all_done && p.done();
+    }
+  }
+  sim.check_failures();
+
+  // Spawn the workload threads.
+  std::vector<ProcRef> threads;
+  for (std::size_t c = 0; c < bed.nclients(); ++c) {
+    for (std::uint32_t t = 0; t < w.threads_per_client(); ++t) {
+      threads.push_back(sim.spawn(w.thread(
+          sim, bed.fs(c), static_cast<std::uint32_t>(c), t, ctx)));
+    }
+  }
+
+  SimTime measured;
+  if (w.fixed_work()) {
+    // Measure the makespan of the whole job.
+    if (opt.on_measure_start) opt.on_measure_start();
+    ctx.measuring = true;
+    const SimTime t0 = sim.now();
+    const SimTime deadline = sim.now() + opt.time_limit;
+    bool all_done = false;
+    while (!all_done && sim.now() < deadline) {
+      sim.run_until(sim.now() + SimTime::millis(20));
+      all_done = true;
+      for (const auto& p : threads) all_done = all_done && p.done();
+    }
+    measured = sim.now() - t0;
+  } else {
+    // Warmup, then a measured window.
+    sim.run_until(sim.now() + opt.warmup);
+    ctx.reset_measurement();
+    if (opt.on_measure_start) opt.on_measure_start();
+    ctx.measuring = true;
+    sim.run_until(sim.now() + opt.duration);
+    ctx.measuring = false;
+    ctx.stop = true;
+    measured = opt.duration;
+    // Drain: every thread must unwind before we return, or coroutine
+    // frames could outlive the Workload object they reference.
+    const SimTime drain_deadline = sim.now() + SimTime::seconds(300);
+    bool all_done = false;
+    while (!all_done && sim.now() < drain_deadline) {
+      sim.run_until(sim.now() + SimTime::seconds(1));
+      all_done = true;
+      for (const auto& p : threads) all_done = all_done && p.done();
+    }
+  }
+  sim.check_failures();
+
+  WorkloadResult r;
+  r.workload = w.name();
+  r.protocol = core::protocol_name(bed.protocol());
+  r.measured = measured;
+  r.ops = ctx.ops.value();
+  r.ops_per_sec = ctx.ops.rate_per_second(measured);
+  r.mb_per_sec = ctx.data.mb_per_second(measured);
+  r.mean_latency = ctx.op_latency.mean();
+  r.p99_latency = ctx.op_latency.percentile(99);
+  r.verify_failures = ctx.verify_failures;
+  r.op_errors = ctx.op_errors;
+  return r;
+}
+
+}  // namespace redbud::workload

@@ -1,0 +1,66 @@
+// xcdn: the paper's CDN benchmark (§V-B).
+//
+// Emulates the read/write behaviour of CDN edge servers: cache fills
+// create new fixed-size files scattered across a large namespace, while
+// serves read random existing objects. File size is the sweep parameter
+// (32 KB / 64 KB / 1 MB in the paper); the namespace is kept far larger
+// than the client cache so reads mostly miss (the paper's observation
+// that "client cache is useless" here).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace redbud::workload {
+
+struct XcdnParams {
+  std::uint32_t file_bytes = 32 * 1024;
+  std::uint32_t threads_per_client = 16;
+  std::uint32_t initial_files_per_client = 1500;
+  // Fraction of operations that are cache fills (writes).
+  double write_fraction = 0.5;
+  // Read popularity skew (CDN object popularity): 0 = uniform over the
+  // whole namespace; higher concentrates reads on the newest objects.
+  double read_zipf_theta = 0.0;
+};
+
+class XcdnWorkload final : public Workload {
+ public:
+  explicit XcdnWorkload(XcdnParams params = {});
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::uint32_t threads_per_client() const override {
+    return params_.threads_per_client;
+  }
+  redbud::sim::Process prepare(redbud::sim::Simulation&, fsapi::FsClient&,
+                               std::uint32_t, WorkloadContext&) override;
+  redbud::sim::Process thread(redbud::sim::Simulation&, fsapi::FsClient&,
+                              std::uint32_t, std::uint32_t,
+                              WorkloadContext&) override;
+
+  [[nodiscard]] const XcdnParams& params() const { return params_; }
+
+ private:
+  struct Object {
+    net::FileId id = net::kInvalidFile;
+  };
+  struct ClientState {
+    // Stable storage for objects (threads hold references across awaits).
+    std::deque<Object> objects;
+    std::uint64_t next_seq = 0;
+    // Cached popularity distribution (the Zipf constructor is O(n); it is
+    // rebuilt only when the population grows noticeably).
+    std::unique_ptr<redbud::sim::Zipf> zipf;
+    std::size_t zipf_built_for = 0;
+  };
+
+  ClientState& state_for(std::uint32_t client_id);
+
+  XcdnParams params_;
+  std::vector<std::unique_ptr<ClientState>> states_;
+};
+
+}  // namespace redbud::workload

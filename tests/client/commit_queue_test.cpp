@@ -1,0 +1,182 @@
+// Tests for the commit queue: per-file dedup, readiness (ordered writes),
+// checkout, fsync waiters.
+#include <gtest/gtest.h>
+
+#include "client/commit_queue.hpp"
+
+namespace redbud::client {
+namespace {
+
+using net::Extent;
+using redbud::sim::Done;
+using redbud::sim::Process;
+using redbud::sim::SimFuture;
+using redbud::sim::SimPromise;
+using redbud::sim::SimTime;
+using redbud::sim::Simulation;
+
+Extent ext(std::uint64_t fb, std::uint32_t n, std::uint64_t phys) {
+  return Extent{fb, n, {0, phys}};
+}
+
+struct Rig {
+  Simulation sim;
+  CommitQueue q{sim};
+
+  SimPromise<Done> add(net::FileId file, std::uint64_t fb = 0,
+                       std::uint32_t n = 1) {
+    SimPromise<Done> data(sim);
+    std::vector<SimFuture<Done>> futs{data.future()};
+    q.add(file, {ext(fb, n, 100 + fb)}, std::vector<storage::ContentToken>(n, 7),
+          n * storage::kBlockSize, std::move(futs));
+    return data;
+  }
+};
+
+TEST(CommitQueue, AddCreatesOneEntryPerFile) {
+  Rig rig;
+  auto d1 = rig.add(1);
+  auto d2 = rig.add(2);
+  EXPECT_EQ(rig.q.size(), 2u);
+  EXPECT_EQ(rig.q.enqueued_total(), 2u);
+  EXPECT_EQ(rig.q.merged_total(), 0u);
+}
+
+TEST(CommitQueue, SameFileMerges) {
+  Rig rig;
+  auto d1 = rig.add(1, 0);
+  auto d2 = rig.add(1, 4);
+  EXPECT_EQ(rig.q.size(), 1u);
+  EXPECT_EQ(rig.q.merged_total(), 1u);
+  d1.set_value(Done{});
+  d2.set_value(Done{});
+  auto batch = rig.q.checkout(10);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].extents.size(), 2u);
+  EXPECT_EQ(batch[0].block_tokens.size(), 2u);
+}
+
+TEST(CommitQueue, NotReadyUntilDataDurable) {
+  Rig rig;
+  auto d = rig.add(1);
+  EXPECT_FALSE(rig.q.any_ready());
+  EXPECT_TRUE(rig.q.checkout(10).empty());
+  d.set_value(Done{});
+  EXPECT_TRUE(rig.q.any_ready());
+  EXPECT_EQ(rig.q.checkout(10).size(), 1u);
+}
+
+TEST(CommitQueue, MergedEntryWaitsForAllWrites) {
+  Rig rig;
+  auto d1 = rig.add(1, 0);
+  auto d2 = rig.add(1, 4);
+  d1.set_value(Done{});
+  EXPECT_TRUE(rig.q.checkout(10).empty());  // d2 still pending
+  d2.set_value(Done{});
+  EXPECT_EQ(rig.q.checkout(10).size(), 1u);
+}
+
+TEST(CommitQueue, CheckoutRespectsFifoAndMax) {
+  Rig rig;
+  std::vector<SimPromise<Done>> ds;
+  for (net::FileId f = 1; f <= 5; ++f) {
+    ds.push_back(rig.add(f));
+    ds.back().set_value(Done{});
+  }
+  auto batch = rig.q.checkout(3);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].file, 1u);
+  EXPECT_EQ(batch[1].file, 2u);
+  EXPECT_EQ(batch[2].file, 3u);
+  EXPECT_EQ(rig.q.size(), 2u);
+  EXPECT_EQ(rig.q.in_flight(), 3u);
+}
+
+TEST(CommitQueue, CheckoutSkipsUnreadyEntries) {
+  Rig rig;
+  auto d1 = rig.add(1);
+  auto d2 = rig.add(2);
+  d2.set_value(Done{});
+  auto batch = rig.q.checkout(10);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].file, 2u);
+  EXPECT_EQ(rig.q.size(), 1u);
+}
+
+TEST(CommitQueue, WaitCommittedImmediateWhenNothingPending) {
+  Rig rig;
+  auto fut = rig.q.wait_committed(42);
+  EXPECT_TRUE(fut.ready());
+}
+
+TEST(CommitQueue, WaitCommittedResolvesOnAck) {
+  Rig rig;
+  auto d = rig.add(1);
+  auto fut = rig.q.wait_committed(1);
+  EXPECT_FALSE(fut.ready());
+  d.set_value(Done{});
+  auto batch = rig.q.checkout(10);
+  ASSERT_EQ(batch.size(), 1u);
+  rig.q.ack(batch[0]);
+  rig.sim.run();  // deliver wakeups
+  EXPECT_TRUE(fut.ready());
+  EXPECT_EQ(rig.q.committed_total(), 1u);
+  EXPECT_EQ(rig.q.in_flight(), 0u);
+}
+
+TEST(CommitQueue, WaitCommittedOnInFlightTask) {
+  Rig rig;
+  auto d = rig.add(1);
+  d.set_value(Done{});
+  auto batch = rig.q.checkout(10);
+  ASSERT_EQ(batch.size(), 1u);
+  auto fut = rig.q.wait_committed(1);  // attaches to the in-flight commit
+  EXPECT_FALSE(fut.ready());
+  rig.q.ack(batch[0]);
+  rig.sim.run();
+  EXPECT_TRUE(fut.ready());
+}
+
+TEST(CommitQueue, DropRemovesQueuedEntryAndReleasesWaiters) {
+  Rig rig;
+  auto d = rig.add(1);
+  auto fut = rig.q.wait_committed(1);
+  rig.q.drop(1);
+  rig.sim.run();
+  EXPECT_TRUE(fut.ready());
+  EXPECT_EQ(rig.q.size(), 0u);
+  EXPECT_TRUE(rig.q.checkout(10).empty());
+}
+
+TEST(CommitQueue, RequeuePutsTaskBackAtFront) {
+  Rig rig;
+  auto d1 = rig.add(1);
+  auto d2 = rig.add(2);
+  d1.set_value(Done{});
+  d2.set_value(Done{});
+  auto batch = rig.q.checkout(1);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].file, 1u);
+  rig.q.requeue(std::move(batch[0]));
+  EXPECT_EQ(rig.q.in_flight(), 0u);
+  auto batch2 = rig.q.checkout(2);
+  ASSERT_EQ(batch2.size(), 2u);
+  EXPECT_EQ(batch2[0].file, 1u);  // back at the front
+}
+
+TEST(CommitQueue, CommitLatencyRecorded) {
+  Rig rig;
+  auto d = rig.add(1);
+  d.set_value(Done{});
+  rig.sim.call_at(SimTime::millis(5), [&] {
+    auto batch = rig.q.checkout(1);
+    ASSERT_EQ(batch.size(), 1u);
+    rig.q.ack(batch[0]);
+  });
+  rig.sim.run();
+  EXPECT_EQ(rig.q.commit_latency().count(), 1u);
+  EXPECT_GE(rig.q.commit_latency().mean(), SimTime::millis(4));
+}
+
+}  // namespace
+}  // namespace redbud::client

@@ -1,0 +1,72 @@
+// Tests for the adaptive compound-degree controller.
+#include <gtest/gtest.h>
+
+#include "client/compound_controller.hpp"
+
+namespace redbud::client {
+namespace {
+
+using redbud::sim::SimTime;
+
+TEST(CompoundController, StartsAtMinDegree) {
+  CompoundController c(CompoundParams{});
+  EXPECT_EQ(c.degree(), 1u);
+}
+
+TEST(CompoundController, FixedDegreeWhenNotAdaptive) {
+  CompoundParams p;
+  p.adaptive = false;
+  p.fixed_degree = 6;
+  CompoundController c(p);
+  EXPECT_EQ(c.degree(), 6u);
+  for (int i = 0; i < 20; ++i) c.on_reply(1000, SimTime::millis(50));
+  EXPECT_EQ(c.degree(), 6u);
+}
+
+TEST(CompoundController, DegreeGrowsWhenMdsBusy) {
+  CompoundParams p;
+  CompoundController c(p);
+  for (int i = 0; i < 10; ++i) c.on_reply(100, SimTime::micros(500));
+  EXPECT_GT(c.degree(), 1u);
+  EXPECT_GT(c.increases(), 0u);
+}
+
+TEST(CompoundController, DegreeGrowsWhenNetworkCongested) {
+  CompoundParams p;
+  CompoundController c(p);
+  // Queue is idle, but RTT is far above the congestion threshold.
+  for (int i = 0; i < 10; ++i) c.on_reply(0, SimTime::millis(10));
+  EXPECT_GT(c.degree(), 1u);
+}
+
+TEST(CompoundController, DegreeCappedAtMax) {
+  CompoundParams p;
+  p.max_degree = 4;
+  CompoundController c(p);
+  for (int i = 0; i < 100; ++i) c.on_reply(1000, SimTime::millis(50));
+  EXPECT_EQ(c.degree(), 4u);
+}
+
+TEST(CompoundController, DegreeShrinksWhenRelaxed) {
+  CompoundParams p;
+  CompoundController c(p);
+  for (int i = 0; i < 10; ++i) c.on_reply(100, SimTime::millis(10));
+  const auto high = c.degree();
+  ASSERT_GT(high, 1u);
+  for (int i = 0; i < 50; ++i) c.on_reply(0, SimTime::micros(100));
+  EXPECT_LT(c.degree(), high);
+  EXPECT_GT(c.decreases(), 0u);
+}
+
+TEST(CompoundController, SmoothingIgnoresSingleSpike) {
+  CompoundParams p;
+  CompoundController c(p);
+  for (int i = 0; i < 20; ++i) c.on_reply(0, SimTime::micros(100));
+  EXPECT_EQ(c.degree(), 1u);
+  c.on_reply(500, SimTime::millis(20));  // one spike
+  // EMA dampens it: at most one step up.
+  EXPECT_LE(c.degree(), 2u);
+}
+
+}  // namespace
+}  // namespace redbud::client

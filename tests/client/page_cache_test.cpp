@@ -1,0 +1,90 @@
+// Tests for the client page cache.
+#include <gtest/gtest.h>
+
+#include "client/page_cache.hpp"
+
+namespace redbud::client {
+namespace {
+
+TEST(PageCache, MissThenHit) {
+  PageCache c(16);
+  EXPECT_EQ(c.get(1, 0), std::nullopt);
+  c.put_clean(1, 0, 42);
+  EXPECT_EQ(c.get(1, 0), 42u);
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(PageCache, DirtyPagesArePinned) {
+  PageCache c(4);
+  c.put_dirty(1, 0, 10);
+  // Flood with clean pages: the dirty page must survive.
+  for (std::uint64_t b = 1; b <= 10; ++b) c.put_clean(1, b, b);
+  EXPECT_EQ(c.get(1, 0), 10u);
+  EXPECT_EQ(c.dirty_count(), 1u);
+  EXPECT_GT(c.evictions(), 0u);
+}
+
+TEST(PageCache, LruEvictsColdestCleanPage) {
+  PageCache c(3);
+  c.put_clean(1, 0, 1);
+  c.put_clean(1, 1, 2);
+  c.put_clean(1, 2, 3);
+  (void)c.get(1, 0);       // touch 0: now 1 is coldest
+  c.put_clean(1, 3, 4);    // evicts one
+  EXPECT_EQ(c.get(1, 1), std::nullopt);
+  EXPECT_EQ(c.get(1, 0), 1u);
+}
+
+TEST(PageCache, MarkCleanUnpins) {
+  PageCache c(2);
+  c.put_dirty(1, 0, 5);
+  EXPECT_TRUE(c.is_dirty(1, 0));
+  c.mark_clean(1, 0);
+  EXPECT_FALSE(c.is_dirty(1, 0));
+  EXPECT_EQ(c.dirty_count(), 0u);
+  // Now evictable.
+  c.put_clean(1, 1, 6);
+  c.put_clean(1, 2, 7);
+  EXPECT_EQ(c.get(1, 0), std::nullopt);
+}
+
+TEST(PageCache, RedirtyRefreshesToken) {
+  PageCache c(8);
+  c.put_dirty(1, 0, 1);
+  c.put_dirty(1, 0, 2);
+  EXPECT_EQ(c.get(1, 0), 2u);
+  EXPECT_EQ(c.dirty_count(), 1u);
+  c.mark_clean(1, 0);
+  c.put_dirty(1, 0, 3);
+  EXPECT_TRUE(c.is_dirty(1, 0));
+  EXPECT_EQ(c.dirty_count(), 1u);
+}
+
+TEST(PageCache, MarkCleanOnMissingPageIsNoop) {
+  PageCache c(4);
+  c.mark_clean(9, 9);
+  EXPECT_EQ(c.dirty_count(), 0u);
+}
+
+TEST(PageCache, InvalidateFileDropsAllItsPages) {
+  PageCache c(16);
+  c.put_dirty(1, 0, 1);
+  c.put_clean(1, 1, 2);
+  c.put_clean(2, 0, 3);
+  c.invalidate_file(1);
+  EXPECT_EQ(c.get(1, 0), std::nullopt);
+  EXPECT_EQ(c.get(1, 1), std::nullopt);
+  EXPECT_EQ(c.get(2, 0), 3u);
+  EXPECT_EQ(c.dirty_count(), 0u);
+}
+
+TEST(PageCache, CacheGrowsPastCapacityWhenAllDirty) {
+  PageCache c(2);
+  for (std::uint64_t b = 0; b < 6; ++b) c.put_dirty(1, b, b);
+  EXPECT_EQ(c.size(), 6u);  // nothing evictable
+  for (std::uint64_t b = 0; b < 6; ++b) EXPECT_TRUE(c.get(1, b).has_value());
+}
+
+}  // namespace
+}  // namespace redbud::client

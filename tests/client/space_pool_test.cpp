@@ -1,0 +1,90 @@
+// Tests for the double space pool (space delegation, §IV-A).
+#include <gtest/gtest.h>
+
+#include "client/space_pool.hpp"
+
+namespace redbud::client {
+namespace {
+
+mds::PhysExtent chunk_at(std::uint64_t block, std::uint64_t n,
+                         std::uint32_t dev = 0) {
+  return mds::PhysExtent{{dev, block}, n};
+}
+
+TEST(DoubleSpacePool, EmptyPoolNeedsRefillAndFailsAlloc) {
+  DoubleSpacePool pool(100);
+  EXPECT_TRUE(pool.needs_refill());
+  EXPECT_EQ(pool.alloc(10), std::nullopt);
+}
+
+TEST(DoubleSpacePool, AllocationsAreContiguousWithinChunk) {
+  DoubleSpacePool pool(100);
+  pool.install_chunk(chunk_at(1000, 100));
+  auto a = pool.alloc(10);
+  auto b = pool.alloc(20);
+  auto c = pool.alloc(5);
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(a->addr.block, 1000u);
+  EXPECT_EQ(b->addr.block, 1010u);
+  EXPECT_EQ(c->addr.block, 1030u);
+  EXPECT_EQ(pool.active_free(), 65u);
+  EXPECT_EQ(pool.allocs(), 3u);
+}
+
+TEST(DoubleSpacePool, SwapPromotesStandbyAndRetiresLeftover) {
+  DoubleSpacePool pool(100);
+  pool.install_chunk(chunk_at(1000, 100));
+  pool.install_chunk(chunk_at(5000, 100));
+  ASSERT_TRUE(pool.alloc(90).has_value());
+  // 10 blocks left in active; a 20-block request forces the swap.
+  auto got = pool.alloc(20);
+  ASSERT_TRUE(got);
+  EXPECT_EQ(got->addr.block, 5000u);
+  EXPECT_EQ(pool.swaps(), 1u);
+  ASSERT_TRUE(pool.has_leftover());
+  auto leftover = pool.take_leftover();
+  ASSERT_TRUE(leftover);
+  EXPECT_EQ(leftover->addr.block, 1090u);
+  EXPECT_EQ(leftover->nblocks, 10u);
+  EXPECT_TRUE(pool.needs_refill());  // standby now empty
+}
+
+TEST(DoubleSpacePool, ExactFitLeavesNoLeftoverOnSwap) {
+  DoubleSpacePool pool(100);
+  pool.install_chunk(chunk_at(0, 100));
+  pool.install_chunk(chunk_at(200, 100));
+  ASSERT_TRUE(pool.alloc(100).has_value());
+  ASSERT_TRUE(pool.alloc(1).has_value());
+  EXPECT_FALSE(pool.has_leftover());
+}
+
+TEST(DoubleSpacePool, SwapWithoutStandbyFails) {
+  DoubleSpacePool pool(100);
+  pool.install_chunk(chunk_at(0, 100));
+  ASSERT_TRUE(pool.alloc(95).has_value());
+  EXPECT_EQ(pool.alloc(10), std::nullopt);  // no standby to promote
+  // Refill and retry.
+  pool.install_chunk(chunk_at(300, 100));
+  auto got = pool.alloc(10);
+  ASSERT_TRUE(got);
+  EXPECT_EQ(got->addr.block, 300u);
+}
+
+TEST(DoubleSpacePool, EligibilityBoundedByChunkSize) {
+  DoubleSpacePool pool(100);
+  EXPECT_TRUE(pool.eligible(100));
+  EXPECT_FALSE(pool.eligible(101));
+}
+
+TEST(DoubleSpacePool, TakeLeftoverDrains) {
+  DoubleSpacePool pool(10);
+  pool.install_chunk(chunk_at(0, 10));
+  pool.install_chunk(chunk_at(20, 10));
+  ASSERT_TRUE(pool.alloc(5).has_value());
+  ASSERT_TRUE(pool.alloc(6).has_value());  // swap, leftover 5 blocks
+  EXPECT_TRUE(pool.take_leftover().has_value());
+  EXPECT_FALSE(pool.take_leftover().has_value());
+}
+
+}  // namespace
+}  // namespace redbud::client

@@ -1,0 +1,45 @@
+// Tests for the bench table printer and formatting helpers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/metrics.hpp"
+
+namespace redbud::core {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  std::ostringstream os;
+  t.print(os);
+  const auto out = os.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22222 |"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("| only |"), std::string::npos);
+}
+
+TEST(Table, FmtHelpers) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+  EXPECT_EQ(Table::fmt_ratio(2.5999), "2.60x");
+}
+
+TEST(Banner, IncludesTitleAndSubtitle) {
+  std::ostringstream os;
+  print_banner(os, "Title", "sub");
+  EXPECT_NE(os.str().find("=== Title ==="), std::string::npos);
+  EXPECT_NE(os.str().find("sub"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace redbud::core

@@ -1,0 +1,149 @@
+// Tests for inode extent maps and the namespace.
+#include <gtest/gtest.h>
+
+#include "mds/inode.hpp"
+
+namespace redbud::mds {
+namespace {
+
+using net::Extent;
+
+Extent ext(std::uint64_t file_block, std::uint32_t n, std::uint64_t phys,
+           std::uint32_t dev = 0) {
+  return Extent{file_block, n, {dev, phys}};
+}
+
+TEST(Inode, ApplyCommitMapsExtentsAndSize) {
+  Inode ino(1);
+  ino.apply_commit({ext(0, 8, 100)}, 32768);
+  EXPECT_EQ(ino.size_bytes(), 32768u);
+  EXPECT_EQ(ino.version(), 1u);
+  auto got = ino.lookup(0, 8);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], ext(0, 8, 100));
+  EXPECT_TRUE(ino.validate());
+}
+
+TEST(Inode, SizeNeverShrinksOnCommit) {
+  Inode ino(1);
+  ino.apply_commit({ext(0, 8, 100)}, 32768);
+  ino.apply_commit({ext(0, 1, 200)}, 4096);
+  EXPECT_EQ(ino.size_bytes(), 32768u);
+}
+
+TEST(Inode, LookupTrimsToRequestedRange) {
+  Inode ino(1);
+  ino.apply_commit({ext(0, 16, 100)}, 65536);
+  auto got = ino.lookup(4, 4);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].file_block, 4u);
+  EXPECT_EQ(got[0].nblocks, 4u);
+  EXPECT_EQ(got[0].addr.block, 104u);
+}
+
+TEST(Inode, LookupSkipsHoles) {
+  Inode ino(1);
+  ino.apply_commit({ext(0, 4, 100), ext(8, 4, 200)}, 49152);
+  auto got = ino.lookup(0, 12);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].file_block, 0u);
+  EXPECT_EQ(got[1].file_block, 8u);
+  EXPECT_TRUE(ino.lookup(4, 4).empty());
+}
+
+TEST(Inode, OverwriteReplacesFully) {
+  Inode ino(1);
+  ino.apply_commit({ext(0, 8, 100)}, 32768);
+  ino.apply_commit({ext(0, 8, 500)}, 32768);
+  auto got = ino.lookup(0, 8);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].addr.block, 500u);
+  EXPECT_EQ(ino.extent_count(), 1u);
+  EXPECT_TRUE(ino.validate());
+}
+
+TEST(Inode, OverwriteSplitsOldExtent) {
+  Inode ino(1);
+  ino.apply_commit({ext(0, 12, 100)}, 49152);
+  // Overwrite the middle third.
+  ino.apply_commit({ext(4, 4, 900)}, 49152);
+  auto got = ino.lookup(0, 12);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], ext(0, 4, 100));
+  EXPECT_EQ(got[1], ext(4, 4, 900));
+  EXPECT_EQ(got[2], ext(8, 4, 108));  // physical address follows the split
+  EXPECT_TRUE(ino.validate());
+}
+
+TEST(Inode, OverwriteTrimsHeadAndTailNeighbours) {
+  Inode ino(1);
+  ino.apply_commit({ext(0, 4, 100), ext(4, 4, 200)}, 32768);
+  // Straddles the boundary of both extents.
+  ino.apply_commit({ext(2, 4, 900)}, 32768);
+  auto got = ino.lookup(0, 8);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], ext(0, 2, 100));
+  EXPECT_EQ(got[1], ext(2, 4, 900));
+  EXPECT_EQ(got[2], ext(6, 2, 202));
+  EXPECT_TRUE(ino.validate());
+}
+
+TEST(Inode, AppendGrowsExtentList) {
+  Inode ino(1);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ino.apply_commit({ext(i * 4, 4, 100 + i * 4)}, (i + 1) * 4 * 4096);
+  }
+  EXPECT_EQ(ino.extent_count(), 10u);
+  EXPECT_EQ(ino.size_bytes(), 40u * 4096u);
+  EXPECT_EQ(ino.version(), 10u);
+  EXPECT_TRUE(ino.validate());
+}
+
+TEST(Namespace, CreateLookupRemove) {
+  Namespace ns;
+  const auto id = ns.create(net::kRootDir, "a.txt");
+  ASSERT_NE(id, net::kInvalidFile);
+  EXPECT_EQ(ns.lookup(net::kRootDir, "a.txt"), id);
+  EXPECT_EQ(ns.file_count(), 1u);
+  auto extents = ns.remove(net::kRootDir, "a.txt");
+  ASSERT_TRUE(extents.has_value());
+  EXPECT_TRUE(extents->empty());
+  EXPECT_EQ(ns.lookup(net::kRootDir, "a.txt"), std::nullopt);
+  EXPECT_EQ(ns.file_count(), 0u);
+}
+
+TEST(Namespace, DuplicateCreateFails) {
+  Namespace ns;
+  ASSERT_NE(ns.create(net::kRootDir, "x"), net::kInvalidFile);
+  EXPECT_EQ(ns.create(net::kRootDir, "x"), net::kInvalidFile);
+}
+
+TEST(Namespace, SameNameInDifferentDirs) {
+  Namespace ns;
+  const auto d1 = ns.make_dir(net::kRootDir, "d1");
+  const auto d2 = ns.make_dir(net::kRootDir, "d2");
+  const auto f1 = ns.create(d1, "f");
+  const auto f2 = ns.create(d2, "f");
+  ASSERT_NE(f1, net::kInvalidFile);
+  ASSERT_NE(f2, net::kInvalidFile);
+  EXPECT_NE(f1, f2);
+}
+
+TEST(Namespace, RemoveReturnsExtentsForFreeing) {
+  Namespace ns;
+  const auto id = ns.create(net::kRootDir, "data");
+  ns.inode(id)->apply_commit({ext(0, 8, 100)}, 32768);
+  auto extents = ns.remove(net::kRootDir, "data");
+  ASSERT_TRUE(extents.has_value());
+  ASSERT_EQ(extents->size(), 1u);
+  EXPECT_EQ((*extents)[0], ext(0, 8, 100));
+  EXPECT_EQ(ns.inode(id), nullptr);
+}
+
+TEST(Namespace, RemoveMissingReturnsNullopt) {
+  Namespace ns;
+  EXPECT_EQ(ns.remove(net::kRootDir, "ghost"), std::nullopt);
+}
+
+}  // namespace
+}  // namespace redbud::mds

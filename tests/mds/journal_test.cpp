@@ -1,0 +1,117 @@
+// Tests for the metadata journal's group commit behaviour.
+#include <gtest/gtest.h>
+
+#include "mds/journal.hpp"
+
+namespace redbud::mds {
+namespace {
+
+using redbud::sim::Process;
+using redbud::sim::SimTime;
+using redbud::sim::Simulation;
+using storage::Disk;
+using storage::DiskParams;
+using storage::IoScheduler;
+
+struct Rig {
+  Simulation sim;
+  Disk disk;
+  IoScheduler sched;
+  Journal journal;
+
+  Rig()
+      : disk(sim,
+             [] {
+               DiskParams p;
+               p.total_blocks = 1 << 20;
+               return p;
+             }()),
+        sched(sim, disk, storage::SchedulerParams{}),
+        journal(sim, sched, JournalParams{0, 1 << 18}) {
+    sched.start();
+    journal.start();
+  }
+};
+
+TEST(Journal, AppendBecomesDurable) {
+  Rig rig;
+  bool durable = false;
+  rig.sim.spawn([](Simulation&, Rig& r, bool& out) -> Process {
+    co_await r.journal.append(128);
+    out = true;
+  }(rig.sim, rig, durable));
+  rig.sim.run();
+  EXPECT_TRUE(durable);
+  EXPECT_EQ(rig.journal.records_appended(), 1u);
+  EXPECT_EQ(rig.journal.flushes(), 1u);
+}
+
+TEST(Journal, GroupCommitBatchesConcurrentAppends) {
+  Rig rig;
+  int done = 0;
+  // One append starts a flush; the rest arrive while the disk is busy and
+  // must share the next flush.
+  for (int i = 0; i < 10; ++i) {
+    rig.sim.spawn([](Simulation&, Rig& r, int& d) -> Process {
+      co_await r.journal.append(128);
+      ++d;
+    }(rig.sim, rig, done));
+  }
+  rig.sim.run();
+  EXPECT_EQ(done, 10);
+  EXPECT_LE(rig.journal.flushes(), 2u);
+  EXPECT_GE(rig.journal.records_per_flush(), 5.0);
+}
+
+TEST(Journal, SequentialAppendsFlushIndividually) {
+  Rig rig;
+  rig.sim.spawn([](Simulation&, Rig& r) -> Process {
+    for (int i = 0; i < 5; ++i) co_await r.journal.append(128);
+  }(rig.sim, rig));
+  rig.sim.run();
+  EXPECT_EQ(rig.journal.flushes(), 5u);
+}
+
+TEST(Journal, JournalWritesAreSequentialOnDisk) {
+  Rig rig;
+  rig.disk.trace().set_enabled(true);
+  rig.sim.spawn([](Simulation&, Rig& r) -> Process {
+    for (int i = 0; i < 4; ++i) co_await r.journal.append(8192);
+  }(rig.sim, rig));
+  rig.sim.run();
+  const auto& ev = rig.disk.trace().events();
+  ASSERT_EQ(ev.size(), 4u);
+  // After the first positioning seek, appends stream sequentially.
+  for (std::size_t i = 1; i < ev.size(); ++i) {
+    EXPECT_EQ(ev[i].seek_distance, 0) << "flush " << i;
+  }
+}
+
+TEST(Journal, WrapsAtRegionEnd) {
+  Rig rig;
+  rig.disk.trace().set_enabled(true);
+  // Region of 4 blocks; each append needs 2 blocks.
+  Journal j(rig.sim, rig.sched, JournalParams{1000, 4});
+  j.start();
+  rig.sim.spawn([](Simulation&, Journal& jj) -> Process {
+    for (int i = 0; i < 3; ++i) co_await jj.append(8192);
+  }(rig.sim, j));
+  rig.sim.run();
+  const auto& ev = rig.disk.trace().events();
+  ASSERT_EQ(ev.size(), 3u);
+  EXPECT_EQ(ev[0].block, 1000u);
+  EXPECT_EQ(ev[1].block, 1002u);
+  EXPECT_EQ(ev[2].block, 1000u);  // wrapped
+}
+
+TEST(Journal, BytesFlushedRoundsToBlocks) {
+  Rig rig;
+  rig.sim.spawn([](Simulation&, Rig& r) -> Process {
+    co_await r.journal.append(100);  // < one block
+  }(rig.sim, rig));
+  rig.sim.run();
+  EXPECT_EQ(rig.journal.bytes_flushed(), storage::kBlockSize);
+}
+
+}  // namespace
+}  // namespace redbud::mds

@@ -1,0 +1,139 @@
+// End-to-end congestion behaviour of the network + RPC stack: the load
+// signals the adaptive compound controller depends on must actually move
+// under pressure.
+#include <gtest/gtest.h>
+
+#include "net/rpc.hpp"
+
+namespace redbud::net {
+namespace {
+
+using redbud::sim::Process;
+using redbud::sim::SimTime;
+using redbud::sim::Simulation;
+
+struct Rig {
+  Simulation sim;
+  Network net;
+  NodeId server_node;
+  RpcEndpoint server;
+
+  explicit Rig(double nic_mbps = 110.0)
+      : net(sim,
+            [nic_mbps] {
+              NetworkParams p;
+              p.nic_bytes_per_second = nic_mbps * 1024 * 1024;
+              return p;
+            }()),
+        server_node(net.add_node()),
+        server(sim, net, server_node) {}
+
+  void spawn_server(SimTime svc) {
+    sim.spawn([](Simulation& s, RpcEndpoint& srv, SimTime t) -> Process {
+      for (;;) {
+        IncomingRpc rpc = co_await srv.incoming().recv();
+        co_await s.delay(t);
+        srv.reply(rpc, StatResp{Status::kOk, 0});
+      }
+    }(sim, server, svc));
+  }
+};
+
+TEST(Congestion, RttGrowsWithServerQueueing) {
+  // One slow server, ten eager clients: measured RTT must far exceed the
+  // unloaded RTT, and the incoming queue must visibly back up.
+  Rig rig;
+  rig.spawn_server(SimTime::millis(1));
+
+  // Unloaded baseline: a single call.
+  RpcEndpoint solo(rig.sim, rig.net, rig.net.add_node());
+  rig.sim.spawn([](Simulation&, RpcEndpoint& c, RpcEndpoint& s) -> Process {
+    auto fut = c.call(s, StatReq{1});
+    (void)co_await fut;
+  }(rig.sim, solo, rig.server));
+  rig.sim.run_until(SimTime::millis(100));
+  const auto unloaded = solo.mean_rtt();
+  ASSERT_GT(unloaded, SimTime::zero());
+
+  std::size_t peak_queue = 0;
+  std::vector<std::unique_ptr<RpcEndpoint>> clients;
+  for (int i = 0; i < 10; ++i) {
+    clients.push_back(std::make_unique<RpcEndpoint>(
+        rig.sim, rig.net, rig.net.add_node()));
+    rig.sim.spawn([](Simulation& s, RpcEndpoint& c, RpcEndpoint& srv,
+                     std::size_t& peak) -> Process {
+      for (int k = 0; k < 50; ++k) {
+        auto fut = c.call(srv, StatReq{std::uint64_t(k)});
+        (void)co_await fut;
+        peak = std::max(peak, srv.incoming_depth());
+        co_await s.delay(SimTime::micros(10));
+      }
+    }(rig.sim, *clients.back(), rig.server, peak_queue));
+  }
+  rig.sim.run_until(SimTime::seconds(10));
+  rig.sim.check_failures();
+
+  SimTime loaded = SimTime::zero();
+  for (auto& c : clients) loaded = std::max(loaded, c->mean_rtt());
+  EXPECT_GT(loaded, unloaded * std::int64_t{4})
+      << "queueing at the server must inflate RTT";
+  EXPECT_GE(peak_queue, 5u);
+}
+
+TEST(Congestion, NicBandwidthBoundsBulkTransfers) {
+  // Push 100 MiB through 10 MiB/s NICs with serial (await-each-reply)
+  // calls: each message pays egress + ingress store-and-forward, so the
+  // expected completion is ~20 s.
+  Rig rig(10.0);
+  rig.spawn_server(SimTime::micros(1));
+  SimTime done = SimTime::zero();
+  RpcEndpoint client(rig.sim, rig.net, rig.net.add_node());
+  rig.sim.spawn([](Simulation& s, RpcEndpoint& c, RpcEndpoint& srv,
+                   SimTime& out) -> Process {
+    // 100 writes of 1 MiB each (NFS-style payload on the wire).
+    for (int i = 0; i < 100; ++i) {
+      NfsWriteReq w;
+      w.file = 1;
+      w.offset_bytes = std::uint64_t(i) << 20;
+      w.nbytes = 1 << 20;
+      w.tokens.assign(256, 7);
+      net::RequestBody req = std::move(w);
+      auto fut = c.call(srv, std::move(req));
+      (void)co_await fut;
+    }
+    out = s.now();
+  }(rig.sim, client, rig.server, done));
+  rig.sim.run_until(SimTime::seconds(60));
+  rig.sim.check_failures();
+  EXPECT_GT(done, SimTime::seconds(19));
+  EXPECT_LT(done, SimTime::seconds(22));
+}
+
+TEST(Congestion, CompoundingReducesWireBytes) {
+  // The same 30 commit entries as 30 RPCs vs 10 compound RPCs of 3:
+  // compound saves header bytes on the wire.
+  auto entry = [] {
+    CommitEntry e;
+    e.file = 1;
+    e.extents = {Extent{0, 8, {0, 100}}};
+    e.new_size_bytes = 32768;
+    return e;
+  };
+  std::size_t singles = 0;
+  for (int i = 0; i < 30; ++i) {
+    CommitReq r;
+    r.entries.push_back(entry());
+    singles += kRpcHeaderBytes + wire_size(RequestBody{r});
+  }
+  std::size_t compounds = 0;
+  for (int i = 0; i < 10; ++i) {
+    CommitReq r;
+    for (int k = 0; k < 3; ++k) r.entries.push_back(entry());
+    compounds += kRpcHeaderBytes + wire_size(RequestBody{r});
+  }
+  EXPECT_LT(compounds, singles);
+  EXPECT_EQ(singles - compounds, 20 * (kRpcHeaderBytes + 16));
+}
+
+}  // namespace
+}  // namespace redbud::net

@@ -1,0 +1,202 @@
+// Stress and conservation tests for the simulation kernel's
+// synchronization primitives under heavy random interleavings.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/future.hpp"
+#include "sim/random.hpp"
+#include "sim/sync.hpp"
+
+namespace redbud::sim {
+namespace {
+
+// Producers inject exactly N tokens with random pacing; consumers drain
+// them. Conservation: every token received exactly once, in FIFO order
+// per producer.
+struct ChannelCase {
+  std::uint64_t seed;
+  int producers;
+  int consumers;
+  int per_producer;
+  std::size_t capacity;
+};
+
+class ChannelStress : public ::testing::TestWithParam<ChannelCase> {};
+
+TEST_P(ChannelStress, ConservationAndPerProducerFifo) {
+  const auto c = GetParam();
+  Simulation sim;
+  Channel<std::pair<int, int>> ch(sim, c.capacity);
+  Rng rng(c.seed);
+
+  for (int p = 0; p < c.producers; ++p) {
+    sim.spawn([](Simulation& s, Channel<std::pair<int, int>>& chan, int id,
+                 int count, std::uint64_t seed) -> Process {
+      Rng r(seed);
+      for (int i = 0; i < count; ++i) {
+        co_await s.delay(SimTime::micros(std::int64_t(r.next_below(50))));
+        co_await chan.send({id, i});
+      }
+    }(sim, ch, p, c.per_producer, rng.next_u64()));
+  }
+
+  const int total = c.producers * c.per_producer;
+  std::vector<std::vector<int>> seen(std::size_t(c.producers));
+  int received = 0;
+  for (int k = 0; k < c.consumers; ++k) {
+    sim.spawn([](Simulation& s, Channel<std::pair<int, int>>& chan,
+                 std::vector<std::vector<int>>& log, int& n, int total,
+                 std::uint64_t seed) -> Process {
+      Rng r(seed);
+      while (n < total) {
+        auto item = chan.try_recv();
+        if (!item) {
+          if (n >= total) co_return;
+          // Block for the next item (may overshoot; guarded by n).
+          auto awaiter = chan.recv();
+          auto v = co_await awaiter;
+          ++n;
+          log[std::size_t(v.first)].push_back(v.second);
+        } else {
+          ++n;
+          log[std::size_t(item->first)].push_back(item->second);
+        }
+        co_await s.delay(SimTime::micros(std::int64_t(r.next_below(30))));
+      }
+    }(sim, ch, seen, received, total, rng.next_u64()));
+  }
+
+  sim.run_until(SimTime::seconds(60));
+  sim.check_failures();
+  EXPECT_EQ(received, total);
+  for (int p = 0; p < c.producers; ++p) {
+    auto& log = seen[std::size_t(p)];
+    // A single consumer pool may interleave producers, but each
+    // producer's items must arrive in its send order.
+    EXPECT_EQ(log.size(), std::size_t(c.per_producer));
+    EXPECT_TRUE(std::is_sorted(log.begin(), log.end()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChannelStress,
+    ::testing::Values(ChannelCase{31, 4, 1, 100, SIZE_MAX},
+                      ChannelCase{32, 1, 4, 200, SIZE_MAX},
+                      ChannelCase{33, 8, 8, 50, SIZE_MAX},
+                      ChannelCase{34, 4, 4, 100, 2},    // tight bound
+                      ChannelCase{35, 2, 2, 300, 1}));  // rendezvous-ish
+
+TEST(SemaphoreStress, MutualExclusionUnderChurn) {
+  Simulation sim;
+  Semaphore sem(sim, 3);
+  Rng rng(77);
+  int active = 0;
+  int peak = 0;
+  int completed = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto start = SimTime::micros(std::int64_t(rng.next_below(2000)));
+    const auto hold = SimTime::micros(std::int64_t(1 + rng.next_below(100)));
+    sim.call_at(start, [&sim, &sem, &active, &peak, &completed, hold] {
+      sim.spawn([](Simulation& s, Semaphore& sm, int& a, int& pk, int& done,
+                   SimTime h) -> Process {
+        co_await sm.acquire();
+        ++a;
+        pk = std::max(pk, a);
+        co_await s.delay(h);
+        --a;
+        sm.release();
+        ++done;
+      }(sim, sem, active, peak, completed, hold));
+    });
+  }
+  sim.run();
+  sim.check_failures();
+  EXPECT_EQ(completed, 200);
+  EXPECT_EQ(active, 0);
+  EXPECT_LE(peak, 3);
+  EXPECT_EQ(sem.available(), 3u);
+  EXPECT_EQ(sem.waiters(), 0u);
+}
+
+TEST(FutureStress, FanOutFanIn) {
+  // One producer fulfils many futures; many waiters each await several.
+  Simulation sim;
+  std::vector<SimPromise<int>> promises;
+  for (int i = 0; i < 50; ++i) promises.emplace_back(sim);
+  Rng rng(88);
+  long long sum = 0;
+  for (int w = 0; w < 100; ++w) {
+    // Each waiter awaits three random futures.
+    std::vector<SimFuture<int>> futs;
+    for (int k = 0; k < 3; ++k) {
+      futs.push_back(promises[rng.next_below(promises.size())].future());
+    }
+    sim.spawn([](Simulation&, std::vector<SimFuture<int>> fs,
+                 long long& acc) -> Process {
+      for (auto& f : fs) acc += co_await f;
+    }(sim, std::move(futs), sum));
+  }
+  for (std::size_t i = 0; i < promises.size(); ++i) {
+    sim.call_at(SimTime::micros(std::int64_t(rng.next_below(1000))),
+                [&promises, i] { promises[i].set_value(1); });
+  }
+  sim.run();
+  sim.check_failures();
+  EXPECT_EQ(sum, 300);  // 100 waiters x 3 futures x value 1
+}
+
+TEST(SignalStress, NoLostWakeupsWithPredicateLoops) {
+  Simulation sim;
+  Signal sig(sim);
+  int counter = 0;
+  int finished = 0;
+  constexpr int kWaiters = 50;
+  constexpr int kTarget = 200;
+  for (int i = 0; i < kWaiters; ++i) {
+    sim.spawn([](Simulation&, Signal& s, int& v, int& f) -> Process {
+      while (v < kTarget) co_await s.wait();
+      ++f;
+    }(sim, sig, counter, finished));
+  }
+  Rng rng(99);
+  for (int i = 1; i <= kTarget; ++i) {
+    sim.call_at(SimTime::micros(std::int64_t(i) * 10), [&counter, &sig] {
+      ++counter;
+      sig.notify_all();
+    });
+  }
+  sim.run();
+  sim.check_failures();
+  EXPECT_EQ(finished, kWaiters);
+  EXPECT_EQ(sig.waiters(), 0u);
+}
+
+TEST(KernelStress, DeepSpawnChains) {
+  // Processes recursively spawning children; all must complete and the
+  // kernel must fully reclaim them.
+  Simulation sim;
+  int completed = 0;
+  // NOLINTNEXTLINE(misc-no-recursion)
+  struct Spawner {
+    static Process run(Simulation& s, int depth, int& done) {
+      if (depth > 0) {
+        auto a = s.spawn(run(s, depth - 1, done));
+        auto b = s.spawn(run(s, depth - 1, done));
+        co_await a.join();
+        co_await b.join();
+      }
+      co_await s.delay(SimTime::micros(1));
+      ++done;
+    }
+  };
+  sim.spawn(Spawner::run(sim, 8, completed));
+  sim.run();
+  sim.check_failures();
+  EXPECT_EQ(completed, (1 << 9) - 1);  // full binary tree of depth 8
+  EXPECT_EQ(sim.live_processes(), 0u);
+}
+
+}  // namespace
+}  // namespace redbud::sim

@@ -1,0 +1,78 @@
+// Tests for the FIFO bandwidth pipe.
+#include <gtest/gtest.h>
+
+#include "sim/pipe.hpp"
+
+namespace redbud::sim {
+namespace {
+
+constexpr double kMBps = 1024.0 * 1024.0;
+
+TEST(BitPipe, SingleTransferTakesLatencyPlusTxTime) {
+  Simulation sim;
+  BitPipe pipe(sim, 100 * kMBps, SimTime::micros(100));
+  SimTime done = SimTime::zero();
+  sim.spawn([](Simulation& s, BitPipe& p, SimTime& out) -> Process {
+    co_await p.transfer(static_cast<std::size_t>(100 * kMBps));  // 1s of tx
+    out = s.now();
+  }(sim, pipe, done));
+  sim.run();
+  EXPECT_EQ(done, SimTime::seconds(1) + SimTime::micros(100));
+}
+
+TEST(BitPipe, TransfersQueueBehindEachOther) {
+  Simulation sim;
+  BitPipe pipe(sim, 10 * kMBps, SimTime::zero());
+  std::vector<SimTime> done(2);
+  for (int i = 0; i < 2; ++i) {
+    sim.spawn([](Simulation& s, BitPipe& p, SimTime& out) -> Process {
+      co_await p.transfer(static_cast<std::size_t>(10 * kMBps));  // 1s each
+      out = s.now();
+    }(sim, pipe, done[i]));
+  }
+  sim.run();
+  EXPECT_EQ(done[0], SimTime::seconds(1));
+  EXPECT_EQ(done[1], SimTime::seconds(2));
+}
+
+TEST(BitPipe, BacklogReflectsQueuedBytes) {
+  Simulation sim;
+  BitPipe pipe(sim, 1 * kMBps, SimTime::zero());
+  EXPECT_TRUE(pipe.idle());
+  (void)pipe.transfer(static_cast<std::size_t>(2 * kMBps));
+  EXPECT_EQ(pipe.backlog(), SimTime::seconds(2));
+  EXPECT_FALSE(pipe.idle());
+  sim.run();
+  EXPECT_TRUE(pipe.idle());
+}
+
+TEST(BitPipe, MetersBytesAndOps) {
+  Simulation sim;
+  BitPipe pipe(sim, 100 * kMBps, SimTime::zero());
+  (void)pipe.transfer(1000);
+  (void)pipe.transfer(2000);
+  sim.run();
+  EXPECT_EQ(pipe.meter().bytes(), 3000u);
+  EXPECT_EQ(pipe.meter().ops(), 2u);
+}
+
+TEST(BitPipe, IdlePipeStartsTransferImmediately) {
+  Simulation sim;
+  BitPipe pipe(sim, 10 * kMBps, SimTime::micros(10));
+  SimTime first = SimTime::zero();
+  SimTime second = SimTime::zero();
+  sim.spawn([](Simulation& s, BitPipe& p, SimTime& a, SimTime& b) -> Process {
+    co_await p.transfer(static_cast<std::size_t>(1 * kMBps));
+    a = s.now();
+    co_await s.delay(SimTime::seconds(5));  // pipe drains fully
+    co_await p.transfer(static_cast<std::size_t>(1 * kMBps));
+    b = s.now();
+  }(sim, pipe, first, second));
+  sim.run();
+  const SimTime tx = SimTime::millis(100) + SimTime::micros(10);
+  EXPECT_EQ(first, tx);
+  EXPECT_EQ(second, first + SimTime::seconds(5) + tx);
+}
+
+}  // namespace
+}  // namespace redbud::sim

@@ -1,0 +1,159 @@
+// Tests for deterministic RNG and distributions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace redbud::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng r(9);
+  constexpr std::uint64_t kBuckets = 10;
+  std::vector<int> counts(kBuckets, 0);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[r.next_below(kBuckets)];
+  for (auto c : counts) {
+    EXPECT_NEAR(double(c), kSamples / double(kBuckets),
+                5 * std::sqrt(double(kSamples) / kBuckets));
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng r(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    auto v = r.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(13);
+  for (int i = 0; i < 10000; ++i) {
+    double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng r(17);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.1);
+}
+
+TEST(Rng, ParetoStaysInBounds) {
+  Rng r(19);
+  for (int i = 0; i < 10000; ++i) {
+    double v = r.pareto(1.2, 4096.0, 1 << 20);
+    EXPECT_GE(v, 4096.0 * 0.999);
+    EXPECT_LE(v, double(1 << 20) * 1.001);
+  }
+}
+
+TEST(Rng, ParetoIsSkewedTowardLowerBound) {
+  Rng r(23);
+  int below_twice_lo = 0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    if (r.pareto(1.5, 1000.0, 1e9) < 2000.0) ++below_twice_lo;
+  }
+  // P(X < 2*lo) = 1 - 2^-1.5 ~ 0.65 for unbounded Pareto.
+  EXPECT_GT(below_twice_lo, kN / 2);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(29);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    double v = r.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng r(31);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(r.lognormal(2.0, 1.0), 0.0);
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(37);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Zipf, UniformWhenThetaZero) {
+  Rng r(41);
+  Zipf z(100, 0.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[z.sample(r)];
+  auto [mn, mx] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_GT(*mn, 700);
+  EXPECT_LT(*mx, 1300);
+}
+
+TEST(Zipf, SkewedWhenThetaHigh) {
+  Rng r(43);
+  Zipf z(1000, 0.99);
+  std::vector<int> counts(1000, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[z.sample(r)];
+  // Item 0 should take a disproportionate share under strong skew.
+  EXPECT_GT(counts[0], kN / 20);
+  EXPECT_GT(counts[0], counts[500] * 10);
+}
+
+TEST(Zipf, SamplesWithinRange) {
+  Rng r(47);
+  Zipf z(10, 0.8);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(z.sample(r), 10u);
+  }
+}
+
+}  // namespace
+}  // namespace redbud::sim

@@ -1,0 +1,127 @@
+// Tests for counters, histograms, time series and gauges.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "sim/stats.hpp"
+
+namespace redbud::sim {
+namespace {
+
+TEST(Counter, AddsAndComputesRate) {
+  Counter c;
+  c.add();
+  c.add(9);
+  EXPECT_EQ(c.value(), 10u);
+  EXPECT_DOUBLE_EQ(c.rate_per_second(SimTime::seconds(2)), 5.0);
+  EXPECT_DOUBLE_EQ(c.rate_per_second(SimTime::zero()), 0.0);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(LatencyHistogram, MeanMinMax) {
+  LatencyHistogram h;
+  h.record(SimTime::millis(10));
+  h.record(SimTime::millis(20));
+  h.record(SimTime::millis(30));
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.mean(), SimTime::millis(20));
+  EXPECT_EQ(h.min(), SimTime::millis(10));
+  EXPECT_EQ(h.max(), SimTime::millis(30));
+}
+
+TEST(LatencyHistogram, PercentilesAreMonotone) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(SimTime::micros(i));
+  const auto p50 = h.percentile(50);
+  const auto p90 = h.percentile(90);
+  const auto p99 = h.percentile(99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // Bucketed estimates: p50 should land within a bucket of 500us.
+  EXPECT_GT(p50, SimTime::micros(300));
+  EXPECT_LT(p50, SimTime::micros(800));
+}
+
+TEST(LatencyHistogram, EmptyIsSafe) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), SimTime::zero());
+  EXPECT_EQ(h.percentile(99), SimTime::zero());
+}
+
+TEST(LatencyHistogram, ExtremeValuesAreClamped) {
+  LatencyHistogram h;
+  h.record(SimTime::nanos(1));          // below 1us bucket floor
+  h.record(SimTime::seconds(100000));   // beyond top bucket
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GT(h.percentile(99), SimTime::zero());
+}
+
+TEST(LatencyHistogram, ResetClears) {
+  LatencyHistogram h;
+  h.record(SimTime::millis(5));
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), SimTime::zero());
+}
+
+TEST(TimeSeries, RecordsAndSummarises) {
+  TimeSeries ts("queue_len");
+  ts.record(SimTime::seconds(1), 10);
+  ts.record(SimTime::seconds(2), 30);
+  ts.record(SimTime::seconds(3), 20);
+  EXPECT_EQ(ts.points().size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.max_value(), 30.0);
+  EXPECT_DOUBLE_EQ(ts.mean_value(), 20.0);
+}
+
+TEST(TimeSeries, WritesCsv) {
+  TimeSeries ts("v");
+  ts.record(SimTime::seconds(1), 1.5);
+  ts.record(SimTime::seconds(2), 2.5);
+  const auto path =
+      std::filesystem::temp_directory_path() / "redbud_ts_test.csv";
+  ASSERT_TRUE(ts.write_csv(path.string()));
+  std::ifstream in(path);
+  std::string header, l1, l2;
+  std::getline(in, header);
+  std::getline(in, l1);
+  std::getline(in, l2);
+  EXPECT_EQ(header, "time_s,v");
+  EXPECT_EQ(l1, "1,1.5");
+  EXPECT_EQ(l2, "2,2.5");
+  std::filesystem::remove(path);
+}
+
+TEST(Gauge, TimeWeightedMean) {
+  Gauge g;
+  g.set(SimTime::seconds(0), 10);
+  g.set(SimTime::seconds(2), 20);  // 10 held for 2s
+  // 10*2 + 20*2 over 4s = 15
+  EXPECT_DOUBLE_EQ(g.time_weighted_mean(SimTime::seconds(4)), 15.0);
+  EXPECT_DOUBLE_EQ(g.current(), 20.0);
+  EXPECT_DOUBLE_EQ(g.max(), 20.0);
+}
+
+TEST(Gauge, MaxTracksPeak) {
+  Gauge g;
+  g.set(SimTime::seconds(0), 5);
+  g.set(SimTime::seconds(1), 50);
+  g.set(SimTime::seconds(2), 1);
+  EXPECT_DOUBLE_EQ(g.max(), 50.0);
+}
+
+TEST(ThroughputMeter, MbPerSecond) {
+  ThroughputMeter m;
+  m.add_bytes(10 * 1024 * 1024);
+  m.add_ops(100);
+  EXPECT_DOUBLE_EQ(m.mb_per_second(SimTime::seconds(5)), 2.0);
+  EXPECT_DOUBLE_EQ(m.ops_per_second(SimTime::seconds(5)), 20.0);
+  EXPECT_DOUBLE_EQ(m.mb_per_second(SimTime::zero()), 0.0);
+}
+
+}  // namespace
+}  // namespace redbud::sim

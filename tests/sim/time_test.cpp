@@ -1,0 +1,85 @@
+// Tests for the virtual time type and the blktrace CSV writer.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "sim/time.hpp"
+#include "storage/blktrace.hpp"
+
+namespace redbud::sim {
+namespace {
+
+TEST(SimTime, ConstructorsAndAccessors) {
+  EXPECT_EQ(SimTime::nanos(1500).ns(), 1500);
+  EXPECT_EQ(SimTime::micros(2).ns(), 2000);
+  EXPECT_EQ(SimTime::millis(3).ns(), 3'000'000);
+  EXPECT_EQ(SimTime::seconds(4).ns(), 4'000'000'000LL);
+  EXPECT_DOUBLE_EQ(SimTime::millis(5).to_micros(), 5000.0);
+  EXPECT_DOUBLE_EQ(SimTime::seconds(2).to_millis(), 2000.0);
+  EXPECT_DOUBLE_EQ(SimTime::millis(1500).to_seconds(), 1.5);
+}
+
+TEST(SimTime, FractionalConstructorsRound) {
+  EXPECT_EQ(SimTime::micros_f(1.5).ns(), 1500);
+  EXPECT_EQ(SimTime::millis_f(0.0005).ns(), 500);
+  EXPECT_EQ(SimTime::seconds_f(1e-9).ns(), 1);
+}
+
+TEST(SimTime, Arithmetic) {
+  const auto a = SimTime::millis(10);
+  const auto b = SimTime::millis(4);
+  EXPECT_EQ(a + b, SimTime::millis(14));
+  EXPECT_EQ(a - b, SimTime::millis(6));
+  EXPECT_EQ(a * std::int64_t{3}, SimTime::millis(30));
+  EXPECT_EQ(std::int64_t{3} * a, SimTime::millis(30));
+  EXPECT_EQ(a / 2, SimTime::millis(5));
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  EXPECT_EQ(a * 0.5, SimTime::millis(5));
+  auto c = a;
+  c += b;
+  EXPECT_EQ(c, SimTime::millis(14));
+  c -= a;
+  EXPECT_EQ(c, b);
+}
+
+TEST(SimTime, Comparisons) {
+  EXPECT_LT(SimTime::micros(999), SimTime::millis(1));
+  EXPECT_EQ(SimTime::zero(), SimTime::nanos(0));
+  EXPECT_GT(SimTime::max(), SimTime::seconds(1'000'000));
+}
+
+TEST(SimTime, HumanReadableString) {
+  EXPECT_NE(SimTime::seconds(2).str().find("s"), std::string::npos);
+  EXPECT_NE(SimTime::millis(5).str().find("ms"), std::string::npos);
+  EXPECT_NE(SimTime::micros(7).str().find("us"), std::string::npos);
+  EXPECT_NE(SimTime::nanos(9).str().find("ns"), std::string::npos);
+}
+
+TEST(BlkTraceCsv, WritesEventsWithKinds) {
+  storage::BlkTrace trace;
+  trace.set_enabled(true);
+  trace.record({SimTime::millis(1), storage::IoKind::kWrite, 100, 8, 0});
+  trace.record({SimTime::millis(2), storage::IoKind::kRead, 50, 2, -58});
+  const auto path =
+      std::filesystem::temp_directory_path() / "redbud_blktrace_test.csv";
+  ASSERT_TRUE(trace.write_csv(path.string()));
+  std::ifstream in(path);
+  std::string header, l1, l2;
+  std::getline(in, header);
+  std::getline(in, l1);
+  std::getline(in, l2);
+  EXPECT_EQ(header, "time_s,kind,block,nblocks,seek_distance");
+  EXPECT_EQ(l1, "0.001,W,100,8,0");
+  EXPECT_EQ(l2, "0.002,R,50,2,-58");
+  std::filesystem::remove(path);
+}
+
+TEST(BlkTraceCsv, SummariesOnEmptyTrace) {
+  storage::BlkTrace trace;
+  EXPECT_EQ(trace.seek_count(), 0u);
+  EXPECT_DOUBLE_EQ(trace.mean_abs_seek(), 0.0);
+}
+
+}  // namespace
+}  // namespace redbud::sim
