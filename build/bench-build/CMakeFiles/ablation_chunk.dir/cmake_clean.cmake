@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_chunk"
+  "../bench/ablation_chunk.pdb"
+  "CMakeFiles/ablation_chunk.dir/ablation_chunk.cpp.o"
+  "CMakeFiles/ablation_chunk.dir/ablation_chunk.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

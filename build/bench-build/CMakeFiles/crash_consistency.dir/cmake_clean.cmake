@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/crash_consistency"
+  "../bench/crash_consistency.pdb"
+  "CMakeFiles/crash_consistency.dir/crash_consistency.cpp.o"
+  "CMakeFiles/crash_consistency.dir/crash_consistency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_overall"
+  "../bench/fig3_overall.pdb"
+  "CMakeFiles/fig3_overall.dir/fig3_overall.cpp.o"
+  "CMakeFiles/fig3_overall.dir/fig3_overall.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_iomerge"
+  "../bench/fig4_iomerge.pdb"
+  "CMakeFiles/fig4_iomerge.dir/fig4_iomerge.cpp.o"
+  "CMakeFiles/fig4_iomerge.dir/fig4_iomerge.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_iomerge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_seeks"
+  "../bench/fig5_seeks.pdb"
+  "CMakeFiles/fig5_seeks.dir/fig5_seeks.cpp.o"
+  "CMakeFiles/fig5_seeks.dir/fig5_seeks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_seeks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

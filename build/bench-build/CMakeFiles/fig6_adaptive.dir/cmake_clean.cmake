@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_adaptive"
+  "../bench/fig6_adaptive.pdb"
+  "CMakeFiles/fig6_adaptive.dir/fig6_adaptive.cpp.o"
+  "CMakeFiles/fig6_adaptive.dir/fig6_adaptive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_compound"
+  "../bench/fig7_compound.pdb"
+  "CMakeFiles/fig7_compound.dir/fig7_compound.cpp.o"
+  "CMakeFiles/fig7_compound.dir/fig7_compound.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_compound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/cdn_server"
+  "../examples/cdn_server.pdb"
+  "CMakeFiles/cdn_server.dir/cdn_server.cpp.o"
+  "CMakeFiles/cdn_server.dir/cdn_server.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/nfs3.cpp" "src/CMakeFiles/redbud.dir/baseline/nfs3.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/baseline/nfs3.cpp.o.d"
+  "/root/repo/src/baseline/pvfs2.cpp" "src/CMakeFiles/redbud.dir/baseline/pvfs2.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/baseline/pvfs2.cpp.o.d"
+  "/root/repo/src/client/client_fs.cpp" "src/CMakeFiles/redbud.dir/client/client_fs.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/client/client_fs.cpp.o.d"
+  "/root/repo/src/client/commit_daemon.cpp" "src/CMakeFiles/redbud.dir/client/commit_daemon.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/client/commit_daemon.cpp.o.d"
+  "/root/repo/src/client/commit_queue.cpp" "src/CMakeFiles/redbud.dir/client/commit_queue.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/client/commit_queue.cpp.o.d"
+  "/root/repo/src/client/compound_controller.cpp" "src/CMakeFiles/redbud.dir/client/compound_controller.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/client/compound_controller.cpp.o.d"
+  "/root/repo/src/client/page_cache.cpp" "src/CMakeFiles/redbud.dir/client/page_cache.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/client/page_cache.cpp.o.d"
+  "/root/repo/src/client/space_pool.cpp" "src/CMakeFiles/redbud.dir/client/space_pool.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/client/space_pool.cpp.o.d"
+  "/root/repo/src/core/cluster.cpp" "src/CMakeFiles/redbud.dir/core/cluster.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/core/cluster.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/redbud.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/recovery.cpp" "src/CMakeFiles/redbud.dir/core/recovery.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/core/recovery.cpp.o.d"
+  "/root/repo/src/core/testbed.cpp" "src/CMakeFiles/redbud.dir/core/testbed.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/core/testbed.cpp.o.d"
+  "/root/repo/src/mds/alloc_group.cpp" "src/CMakeFiles/redbud.dir/mds/alloc_group.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/mds/alloc_group.cpp.o.d"
+  "/root/repo/src/mds/btree.cpp" "src/CMakeFiles/redbud.dir/mds/btree.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/mds/btree.cpp.o.d"
+  "/root/repo/src/mds/inode.cpp" "src/CMakeFiles/redbud.dir/mds/inode.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/mds/inode.cpp.o.d"
+  "/root/repo/src/mds/journal.cpp" "src/CMakeFiles/redbud.dir/mds/journal.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/mds/journal.cpp.o.d"
+  "/root/repo/src/mds/mds_server.cpp" "src/CMakeFiles/redbud.dir/mds/mds_server.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/mds/mds_server.cpp.o.d"
+  "/root/repo/src/mds/space_manager.cpp" "src/CMakeFiles/redbud.dir/mds/space_manager.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/mds/space_manager.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/redbud.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/rpc.cpp" "src/CMakeFiles/redbud.dir/net/rpc.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/net/rpc.cpp.o.d"
+  "/root/repo/src/sim/random.cpp" "src/CMakeFiles/redbud.dir/sim/random.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/sim/random.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/CMakeFiles/redbud.dir/sim/simulation.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/sim/simulation.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/redbud.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/storage/blktrace.cpp" "src/CMakeFiles/redbud.dir/storage/blktrace.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/storage/blktrace.cpp.o.d"
+  "/root/repo/src/storage/disk.cpp" "src/CMakeFiles/redbud.dir/storage/disk.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/storage/disk.cpp.o.d"
+  "/root/repo/src/storage/disk_array.cpp" "src/CMakeFiles/redbud.dir/storage/disk_array.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/storage/disk_array.cpp.o.d"
+  "/root/repo/src/storage/io_scheduler.cpp" "src/CMakeFiles/redbud.dir/storage/io_scheduler.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/storage/io_scheduler.cpp.o.d"
+  "/root/repo/src/workload/filebench.cpp" "src/CMakeFiles/redbud.dir/workload/filebench.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/workload/filebench.cpp.o.d"
+  "/root/repo/src/workload/npb_bt.cpp" "src/CMakeFiles/redbud.dir/workload/npb_bt.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/workload/npb_bt.cpp.o.d"
+  "/root/repo/src/workload/workload.cpp" "src/CMakeFiles/redbud.dir/workload/workload.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/workload/workload.cpp.o.d"
+  "/root/repo/src/workload/xcdn.cpp" "src/CMakeFiles/redbud.dir/workload/xcdn.cpp.o" "gcc" "src/CMakeFiles/redbud.dir/workload/xcdn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline/baseline_test.cpp" "tests/CMakeFiles/redbud_tests.dir/baseline/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/redbud_tests.dir/baseline/baseline_test.cpp.o.d"
+  "/root/repo/tests/client/client_fs_test.cpp" "tests/CMakeFiles/redbud_tests.dir/client/client_fs_test.cpp.o" "gcc" "tests/CMakeFiles/redbud_tests.dir/client/client_fs_test.cpp.o.d"
+  "/root/repo/tests/client/commit_queue_test.cpp" "tests/CMakeFiles/redbud_tests.dir/client/commit_queue_test.cpp.o" "gcc" "tests/CMakeFiles/redbud_tests.dir/client/commit_queue_test.cpp.o.d"
+  "/root/repo/tests/client/compound_controller_test.cpp" "tests/CMakeFiles/redbud_tests.dir/client/compound_controller_test.cpp.o" "gcc" "tests/CMakeFiles/redbud_tests.dir/client/compound_controller_test.cpp.o.d"
+  "/root/repo/tests/client/page_cache_fuzz_test.cpp" "tests/CMakeFiles/redbud_tests.dir/client/page_cache_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/redbud_tests.dir/client/page_cache_fuzz_test.cpp.o.d"
+  "/root/repo/tests/client/page_cache_test.cpp" "tests/CMakeFiles/redbud_tests.dir/client/page_cache_test.cpp.o" "gcc" "tests/CMakeFiles/redbud_tests.dir/client/page_cache_test.cpp.o.d"
+  "/root/repo/tests/client/space_pool_test.cpp" "tests/CMakeFiles/redbud_tests.dir/client/space_pool_test.cpp.o" "gcc" "tests/CMakeFiles/redbud_tests.dir/client/space_pool_test.cpp.o.d"
+  "/root/repo/tests/core/metrics_test.cpp" "tests/CMakeFiles/redbud_tests.dir/core/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/redbud_tests.dir/core/metrics_test.cpp.o.d"
+  "/root/repo/tests/core/recovery_test.cpp" "tests/CMakeFiles/redbud_tests.dir/core/recovery_test.cpp.o" "gcc" "tests/CMakeFiles/redbud_tests.dir/core/recovery_test.cpp.o.d"
+  "/root/repo/tests/mds/alloc_test.cpp" "tests/CMakeFiles/redbud_tests.dir/mds/alloc_test.cpp.o" "gcc" "tests/CMakeFiles/redbud_tests.dir/mds/alloc_test.cpp.o.d"
+  "/root/repo/tests/mds/btree_test.cpp" "tests/CMakeFiles/redbud_tests.dir/mds/btree_test.cpp.o" "gcc" "tests/CMakeFiles/redbud_tests.dir/mds/btree_test.cpp.o.d"
+  "/root/repo/tests/mds/inode_fuzz_test.cpp" "tests/CMakeFiles/redbud_tests.dir/mds/inode_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/redbud_tests.dir/mds/inode_fuzz_test.cpp.o.d"
+  "/root/repo/tests/mds/inode_test.cpp" "tests/CMakeFiles/redbud_tests.dir/mds/inode_test.cpp.o" "gcc" "tests/CMakeFiles/redbud_tests.dir/mds/inode_test.cpp.o.d"
+  "/root/repo/tests/mds/journal_test.cpp" "tests/CMakeFiles/redbud_tests.dir/mds/journal_test.cpp.o" "gcc" "tests/CMakeFiles/redbud_tests.dir/mds/journal_test.cpp.o.d"
+  "/root/repo/tests/mds/mds_server_test.cpp" "tests/CMakeFiles/redbud_tests.dir/mds/mds_server_test.cpp.o" "gcc" "tests/CMakeFiles/redbud_tests.dir/mds/mds_server_test.cpp.o.d"
+  "/root/repo/tests/net/congestion_test.cpp" "tests/CMakeFiles/redbud_tests.dir/net/congestion_test.cpp.o" "gcc" "tests/CMakeFiles/redbud_tests.dir/net/congestion_test.cpp.o.d"
+  "/root/repo/tests/net/network_test.cpp" "tests/CMakeFiles/redbud_tests.dir/net/network_test.cpp.o" "gcc" "tests/CMakeFiles/redbud_tests.dir/net/network_test.cpp.o.d"
+  "/root/repo/tests/net/rpc_test.cpp" "tests/CMakeFiles/redbud_tests.dir/net/rpc_test.cpp.o" "gcc" "tests/CMakeFiles/redbud_tests.dir/net/rpc_test.cpp.o.d"
+  "/root/repo/tests/sim/kernel_stress_test.cpp" "tests/CMakeFiles/redbud_tests.dir/sim/kernel_stress_test.cpp.o" "gcc" "tests/CMakeFiles/redbud_tests.dir/sim/kernel_stress_test.cpp.o.d"
+  "/root/repo/tests/sim/pipe_test.cpp" "tests/CMakeFiles/redbud_tests.dir/sim/pipe_test.cpp.o" "gcc" "tests/CMakeFiles/redbud_tests.dir/sim/pipe_test.cpp.o.d"
+  "/root/repo/tests/sim/primitives_test.cpp" "tests/CMakeFiles/redbud_tests.dir/sim/primitives_test.cpp.o" "gcc" "tests/CMakeFiles/redbud_tests.dir/sim/primitives_test.cpp.o.d"
+  "/root/repo/tests/sim/random_test.cpp" "tests/CMakeFiles/redbud_tests.dir/sim/random_test.cpp.o" "gcc" "tests/CMakeFiles/redbud_tests.dir/sim/random_test.cpp.o.d"
+  "/root/repo/tests/sim/simulation_test.cpp" "tests/CMakeFiles/redbud_tests.dir/sim/simulation_test.cpp.o" "gcc" "tests/CMakeFiles/redbud_tests.dir/sim/simulation_test.cpp.o.d"
+  "/root/repo/tests/sim/stats_test.cpp" "tests/CMakeFiles/redbud_tests.dir/sim/stats_test.cpp.o" "gcc" "tests/CMakeFiles/redbud_tests.dir/sim/stats_test.cpp.o.d"
+  "/root/repo/tests/sim/time_test.cpp" "tests/CMakeFiles/redbud_tests.dir/sim/time_test.cpp.o" "gcc" "tests/CMakeFiles/redbud_tests.dir/sim/time_test.cpp.o.d"
+  "/root/repo/tests/storage/disk_array_test.cpp" "tests/CMakeFiles/redbud_tests.dir/storage/disk_array_test.cpp.o" "gcc" "tests/CMakeFiles/redbud_tests.dir/storage/disk_array_test.cpp.o.d"
+  "/root/repo/tests/storage/disk_test.cpp" "tests/CMakeFiles/redbud_tests.dir/storage/disk_test.cpp.o" "gcc" "tests/CMakeFiles/redbud_tests.dir/storage/disk_test.cpp.o.d"
+  "/root/repo/tests/storage/io_scheduler_fuzz_test.cpp" "tests/CMakeFiles/redbud_tests.dir/storage/io_scheduler_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/redbud_tests.dir/storage/io_scheduler_fuzz_test.cpp.o.d"
+  "/root/repo/tests/storage/io_scheduler_test.cpp" "tests/CMakeFiles/redbud_tests.dir/storage/io_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/redbud_tests.dir/storage/io_scheduler_test.cpp.o.d"
+  "/root/repo/tests/workload/workload_test.cpp" "tests/CMakeFiles/redbud_tests.dir/workload/workload_test.cpp.o" "gcc" "tests/CMakeFiles/redbud_tests.dir/workload/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/redbud.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
