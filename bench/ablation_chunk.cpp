@@ -4,6 +4,7 @@
 // allocations interleave with others'), huge chunks add little once the
 // client's write window is covered.
 #include "common.hpp"
+#include "parallel_runner.hpp"
 
 using namespace redbud;
 using namespace redbud::workload;
@@ -17,31 +18,50 @@ int main() {
   core::Table table(
       {"chunk", "merge ratio", "ops/s", "pool swaps", "delegate RPCs"});
 
-  for (std::uint64_t mib : {1ull, 4ull, 16ull, 64ull}) {
-    auto params = bench::paper_testbed(Protocol::kRedbudDelayed);
-    params.redbud.client.delegation = true;
-    params.redbud.client.chunk_blocks = (mib << 20) / storage::kBlockSize;
-    core::Testbed bed(params);
-    bed.start();
-    XcdnWorkload w(bench::xcdn_params(32));
-    auto opt = bench::paper_run();
-    auto* cluster = bed.cluster();
-    opt.on_measure_start = [cluster] { cluster->array().reset_stats(); };
-    auto r = run_workload(bed, w, opt);
-
+  struct Cell {
+    double merge = 0;
+    double ops_per_sec = 0;
     std::uint64_t swaps = 0;
     std::uint64_t delegate_rpcs = 0;
-    for (std::size_t i = 0; i < cluster->nclients(); ++i) {
-      swaps += cluster->client(i).space_pool().swaps();
-    }
-    delegate_rpcs = cluster->mds().grants().size();
-    table.add_row({std::to_string(mib) + " MiB",
-                   core::Table::fmt(cluster->array().write_merge_ratio(), 3),
-                   core::Table::fmt(r.ops_per_sec, 0), std::to_string(swaps),
-                   std::to_string(delegate_rpcs)});
-    std::fprintf(stderr, "  done: %lluMiB merge=%.3f\n",
-                 static_cast<unsigned long long>(mib),
-                 cluster->array().write_merge_ratio());
+  };
+  constexpr std::uint64_t kChunksMib[] = {1, 4, 16, 64};
+  Cell cells[4];
+  bench::ParallelRunner runner;
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t mib = kChunksMib[i];
+    Cell* cell = &cells[i];
+    runner.add(std::to_string(mib) + "MiB", [mib, cell]() -> std::uint64_t {
+      auto params = bench::paper_testbed(Protocol::kRedbudDelayed);
+      params.redbud.client.delegation = true;
+      params.redbud.client.chunk_blocks = (mib << 20) / storage::kBlockSize;
+      core::Testbed bed(params);
+      bed.start();
+      XcdnWorkload w(bench::xcdn_params(32));
+      auto opt = bench::paper_run();
+      auto* cluster = bed.cluster();
+      opt.on_measure_start = [cluster] { cluster->array().reset_stats(); };
+      auto r = run_workload(bed, w, opt);
+
+      cell->merge = cluster->array().write_merge_ratio();
+      cell->ops_per_sec = r.ops_per_sec;
+      for (std::size_t c = 0; c < cluster->nclients(); ++c) {
+        cell->swaps += cluster->client(c).space_pool().swaps();
+      }
+      cell->delegate_rpcs = cluster->mds().grants().size();
+      std::fprintf(stderr, "  done: %lluMiB merge=%.3f\n",
+                   static_cast<unsigned long long>(mib), cell->merge);
+      return bed.sim().events_processed();
+    });
+  }
+  runner.run_all();
+  runner.write_json("ablation_chunk");
+
+  for (int i = 0; i < 4; ++i) {
+    table.add_row({std::to_string(kChunksMib[i]) + " MiB",
+                   core::Table::fmt(cells[i].merge, 3),
+                   core::Table::fmt(cells[i].ops_per_sec, 0),
+                   std::to_string(cells[i].swaps),
+                   std::to_string(cells[i].delegate_rpcs)});
   }
   table.print(std::cout);
   return 0;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "parallel_runner.hpp"
 
 using namespace redbud;
 using namespace redbud::workload;
@@ -40,28 +41,46 @@ int main() {
                      "Space Delegation", "delegation gain",
                      "paper expectation"});
 
-  for (std::uint32_t kb : {32u, 64u, 1024u}) {
-    double ratio[3] = {0, 0, 0};
+  // 3 file sizes x 3 configurations, each an independent simulation.
+  constexpr std::uint32_t kSizesKb[] = {32, 64, 1024};
+  double ratio[3][3] = {};
+  bench::ParallelRunner runner;
+  for (int si = 0; si < 3; ++si) {
     for (int ci = 0; ci < 3; ++ci) {
-      auto params = bench::paper_testbed(kConfigs[ci].protocol);
-      params.redbud.client.delegation = kConfigs[ci].delegation;
-      params.redbud.client.chunk_blocks =
-          (16ull << 20) / storage::kBlockSize;  // the paper's 16 MB
-      core::Testbed bed(params);
-      bed.start();
-      XcdnWorkload w(bench::xcdn_params(kb));
-      auto opt = bench::paper_run();
-      auto* cluster = bed.cluster();
-      opt.on_measure_start = [cluster] { cluster->array().reset_stats(); };
-      auto r = run_workload(bed, w, opt);
-      ratio[ci] = cluster->array().write_merge_ratio();
-      std::fprintf(stderr, "  done: %uKB %-17s merge=%.3f (ops/s %.0f)\n", kb,
-                   kConfigs[ci].name, ratio[ci], r.ops_per_sec);
+      const std::uint32_t kb = kSizesKb[si];
+      double* out = &ratio[si][ci];
+      runner.add(std::to_string(kb) + "KB/" + kConfigs[ci].name,
+                 [kb, ci, out]() -> std::uint64_t {
+                   auto params = bench::paper_testbed(kConfigs[ci].protocol);
+                   params.redbud.client.delegation = kConfigs[ci].delegation;
+                   params.redbud.client.chunk_blocks =
+                       (16ull << 20) / storage::kBlockSize;  // the paper's 16 MB
+                   core::Testbed bed(params);
+                   bed.start();
+                   XcdnWorkload w(bench::xcdn_params(kb));
+                   auto opt = bench::paper_run();
+                   auto* cluster = bed.cluster();
+                   opt.on_measure_start = [cluster] {
+                     cluster->array().reset_stats();
+                   };
+                   auto r = run_workload(bed, w, opt);
+                   *out = cluster->array().write_merge_ratio();
+                   std::fprintf(stderr,
+                                "  done: %uKB %-17s merge=%.3f (ops/s %.0f)\n",
+                                kb, kConfigs[ci].name, *out, r.ops_per_sec);
+                   return bed.sim().events_processed();
+                 });
     }
-    const double gain = ratio[1] > 0 ? ratio[2] / ratio[1] : 0.0;
-    table.add_row({std::to_string(kb) + " KB", core::Table::fmt(ratio[0], 3),
-                   core::Table::fmt(ratio[1], 3),
-                   core::Table::fmt(ratio[2], 3), core::Table::fmt_ratio(gain),
+  }
+  runner.run_all();
+  runner.write_json("fig4_iomerge");
+
+  for (int si = 0; si < 3; ++si) {
+    const double* r = ratio[si];
+    const double gain = r[1] > 0 ? r[2] / r[1] : 0.0;
+    table.add_row({std::to_string(kSizesKb[si]) + " KB",
+                   core::Table::fmt(r[0], 3), core::Table::fmt(r[1], 3),
+                   core::Table::fmt(r[2], 3), core::Table::fmt_ratio(gain),
                    "orig ~0; delegation 2.8-5.9x over DC"});
   }
   table.print(std::cout);

@@ -154,6 +154,71 @@ void BM_CoroutineSpawnJoin(benchmark::State& state) {
 }
 BENCHMARK(BM_CoroutineSpawnJoin);
 
+void BM_EventQueueScheduleDispatch(benchmark::State& state) {
+  // The kernel's real access mix: a standing population of processes
+  // stepping through a zero-delay-heavy mixed distribution (70% yields,
+  // 30% random microsecond delays) — every channel/semaphore/future
+  // wakeup in the system is a zero-delay event.
+  constexpr int kProcs = 200;
+  constexpr int kSteps = 100;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulation sim;
+    sim::Rng rng(42);
+    state.ResumeTiming();
+    for (int i = 0; i < kProcs; ++i) {
+      sim.spawn([](sim::Simulation& s, sim::Rng& r) -> sim::Process {
+        for (int k = 0; k < kSteps; ++k) {
+          if (r.next_below(10) < 7) {
+            co_await s.yield();
+          } else {
+            co_await s.delay(
+                sim::SimTime::micros(std::int64_t(1 + r.next_below(100))));
+          }
+        }
+      }(sim, rng));
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * kProcs * kSteps);
+}
+BENCHMARK(BM_EventQueueScheduleDispatch);
+
+void BM_ZeroDelayYield(benchmark::State& state) {
+  // Pure ready-ring path: a yield chain never touches the heap.
+  constexpr int kYields = 10000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulation sim;
+    state.ResumeTiming();
+    sim.spawn([](sim::Simulation& s) -> sim::Process {
+      for (int i = 0; i < kYields; ++i) co_await s.yield();
+    }(sim));
+    sim.run();
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * kYields);
+}
+BENCHMARK(BM_ZeroDelayYield);
+
+void BM_SpawnRetire(benchmark::State& state) {
+  // Frame allocation + live-table insert + retirement for short-lived
+  // processes — the coroutine-per-request pattern of every workload.
+  constexpr int kProcs = 2000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulation sim;
+    state.ResumeTiming();
+    for (int i = 0; i < kProcs; ++i) {
+      sim.spawn([](sim::Simulation& s) -> sim::Process {
+        co_await s.yield();
+      }(sim));
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * kProcs);
+}
+BENCHMARK(BM_SpawnRetire);
+
 void BM_RngZipf(benchmark::State& state) {
   sim::Rng rng(7);
   sim::Zipf zipf(10000, 0.9);

@@ -15,10 +15,12 @@
 #pragma once
 
 #include <coroutine>
+#include <cstdint>
 #include <exception>
 #include <memory>
 #include <vector>
 
+#include "sim/arena.hpp"
 #include "sim/time.hpp"
 
 namespace redbud::sim {
@@ -49,6 +51,17 @@ class [[nodiscard]] Process {
 
   struct promise_type {
     std::shared_ptr<ProcessState> state = std::make_shared<ProcessState>();
+    // Position in the kernel's live-frame table; maintained by Simulation
+    // so retirement is a swap-pop instead of a linear scan.
+    std::uint32_t live_index = 0;
+
+    // Coroutine frames come from the thread-local recycling arena.
+    static void* operator new(std::size_t bytes) {
+      return detail::FrameArena::local().allocate(bytes);
+    }
+    static void operator delete(void* p, std::size_t bytes) noexcept {
+      detail::FrameArena::local().deallocate(p, bytes);
+    }
 
     Process get_return_object() {
       return Process(Handle::from_promise(*this), state);

@@ -1,7 +1,7 @@
 #include "sim/simulation.hpp"
 
-#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace redbud::sim {
 
@@ -16,54 +16,80 @@ ProcRef Simulation::spawn(Process p) {
   auto h = p.handle_;
   p.handle_ = nullptr;  // ownership transfers to the kernel
   h.promise().state->sim = this;
+  h.promise().live_index = static_cast<std::uint32_t>(live_.size());
   live_.push_back(h);
   schedule_now(h);
   return ProcRef(p.state_);
 }
 
-void Simulation::schedule_at(SimTime at, std::coroutine_handle<> h) {
-  assert(at >= now_ && "scheduling into the past");
-  queue_.push(Event{at, next_seq_++, h, nullptr});
-}
-
 void Simulation::call_at(SimTime at, std::function<void()> fn) {
   assert(at >= now_ && "scheduling into the past");
-  queue_.push(Event{at, next_seq_++, nullptr, std::move(fn)});
+  const std::uint64_t payload = detail::timer_payload(timers_.put(std::move(fn)));
+  if (at == now_) {
+    ring_.push({next_seq_++, payload});
+  } else {
+    heap_.push({at, next_seq_++, payload});
+  }
 }
 
-void Simulation::dispatch(Event& ev) {
-  now_ = ev.at;
+void Simulation::dispatch_payload(std::uint64_t payload) {
   ++events_processed_;
-  if (ev.h) {
-    ev.h.resume();
+  if (detail::is_timer(payload)) {
+    // Move the callback out first: it may schedule new timers and
+    // reallocate the slab under its own slot.
+    auto fn = timers_.take(detail::timer_slot(payload));
+    fn();
   } else {
-    ev.fn();
+    detail::coro_of(payload).resume();
   }
   // Retire frames that hit final suspension while the event ran.
+  if (!retired_.empty()) drain_retired();
+}
+
+void Simulation::drain_retired() {
   for (auto h : retired_) {
-    live_.erase(std::remove(live_.begin(), live_.end(),
-                            static_cast<std::coroutine_handle<>>(h)),
-                live_.end());
+    const std::uint32_t i = h.promise().live_index;
+    assert(i < live_.size() && live_[i] == h && "stale live index");
+    Process::Handle moved = live_.back();
+    live_[i] = moved;
+    moved.promise().live_index = i;
+    live_.pop_back();
     h.destroy();
   }
   retired_.clear();
 }
 
+bool Simulation::step(SimTime limit) {
+  // Ring events are timestamped now_; a heap event at the same time with a
+  // smaller sequence number was scheduled earlier and must run first.
+  if (!ring_.empty() && now_ <= limit) {
+    if (!heap_.empty() && heap_.top().at == now_ &&
+        heap_.top().seq < ring_.front().seq) {
+      dispatch_payload(heap_.pop().payload);
+    } else {
+      dispatch_payload(ring_.pop().payload);
+    }
+    return true;
+  }
+  if (!heap_.empty() && heap_.top().at <= limit) {
+    const detail::HeapEvent ev = heap_.pop();
+    assert(ev.at >= now_ && "event queue went backwards in time");
+    now_ = ev.at;
+    dispatch_payload(ev.payload);
+    return true;
+  }
+  return false;
+}
+
 void Simulation::run() {
   stopped_ = false;
-  while (!queue_.empty() && !stopped_) {
-    Event ev = queue_.top();
-    queue_.pop();
-    dispatch(ev);
+  while (!stopped_ && step(SimTime::max())) {
   }
 }
 
 void Simulation::run_until(SimTime t) {
   stopped_ = false;
-  while (!queue_.empty() && !stopped_ && queue_.top().at <= t) {
-    Event ev = queue_.top();
-    queue_.pop();
-    dispatch(ev);
+  while (!stopped_ && step(t)) {
   }
   if (!stopped_ && now_ < t) now_ = t;
 }

@@ -3,15 +3,22 @@
 // Single-threaded, deterministic: events are ordered by (time, sequence
 // number), where the sequence number is a monotonically increasing tie
 // breaker, so two runs with the same seed replay identically.
+//
+// Hot-path layout (see event_heap.hpp): future events live in a POD 4-ary
+// min-heap; events scheduled at exactly `now()` — zero-delay yields and
+// every channel/semaphore/future wakeup — go to a FIFO ready ring that
+// bypasses the heap. Both structures carry the global sequence number, and
+// the run loop merges them back into the exact (time, seq) total order, so
+// the split is invisible to replay determinism.
 #pragma once
 
 #include <cassert>
 #include <coroutine>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/event_heap.hpp"
 #include "sim/process.hpp"
 #include "sim/time.hpp"
 
@@ -55,8 +62,18 @@ class Simulation {
   void schedule_in(SimTime after, std::coroutine_handle<> h) {
     schedule_at(now_ + after, h);
   }
-  void schedule_at(SimTime at, std::coroutine_handle<> h);
-  void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
+  void schedule_at(SimTime at, std::coroutine_handle<> h) {
+    assert(at >= now_ && "scheduling into the past");
+    const std::uint64_t payload = detail::coro_payload(h);
+    if (at == now_) {
+      ring_.push({next_seq_++, payload});
+    } else {
+      heap_.push({at, next_seq_++, payload});
+    }
+  }
+  void schedule_now(std::coroutine_handle<> h) {
+    ring_.push({next_seq_++, detail::coro_payload(h)});
+  }
 
   // Schedule a plain callback (timer) — used sparingly, e.g. by samplers.
   void call_at(SimTime at, std::function<void()> fn);
@@ -78,28 +95,24 @@ class Simulation {
  private:
   friend struct Process::FinalAwaiter;
 
-  struct Event {
-    SimTime at;
-    std::uint64_t seq;
-    std::coroutine_handle<> h;      // exactly one of h / fn is set
-    std::function<void()> fn;
-    bool operator>(const Event& o) const {
-      return at != o.at ? at > o.at : seq > o.seq;
-    }
-  };
-
   void on_process_done(Process::Handle h);
-  void dispatch(Event& ev);
+  // Dispatch one event whose time is <= limit; false when none remain.
+  bool step(SimTime limit);
+  void dispatch_payload(std::uint64_t payload);
+  void drain_retired();
 
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  // Frames of spawned processes still alive (owned by the kernel).
-  std::vector<std::coroutine_handle<>> live_;
+  detail::EventHeap heap_;    // events strictly in the future
+  detail::ReadyRing ring_;    // events at exactly now_
+  detail::TimerSlab timers_;  // pending call_at callbacks
+  // Frames of spawned processes still alive (owned by the kernel); each
+  // frame's promise records its index here for O(1) swap-pop retirement.
+  std::vector<Process::Handle> live_;
   // Frames that reached final suspension during the current dispatch.
-  std::vector<std::coroutine_handle<>> retired_;
+  std::vector<Process::Handle> retired_;
   std::vector<std::exception_ptr> failures_;
 };
 

@@ -2,12 +2,17 @@
 // synchronization primitives under heavy random interleavings.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "core/testbed.hpp"
 #include "sim/channel.hpp"
 #include "sim/future.hpp"
 #include "sim/random.hpp"
 #include "sim/sync.hpp"
+#include "workload/workload.hpp"
+#include "workload/xcdn.hpp"
 
 namespace redbud::sim {
 namespace {
@@ -196,6 +201,146 @@ TEST(KernelStress, DeepSpawnChains) {
   sim.check_failures();
   EXPECT_EQ(completed, (1 << 9) - 1);  // full binary tree of depth 8
   EXPECT_EQ(sim.live_processes(), 0u);
+}
+
+// --- determinism: same seed, two runs, bit-identical behaviour ----------
+
+// FNV-1a over the observed interleaving.
+struct Digest {
+  std::uint64_t h = 14695981039346656037ull;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+};
+
+// A kernel soup: channels, semaphores, zero-delay yield chains and timers,
+// all racing at shared timestamps. Returns (interleaving digest, events).
+std::pair<std::uint64_t, std::uint64_t> run_kernel_soup(std::uint64_t seed) {
+  Simulation sim;
+  Channel<int> ch(sim, 4);
+  Semaphore sem(sim, 2);
+  Digest digest;
+  Rng rng(seed);
+  constexpr int kProcs = 16;
+  constexpr int kSteps = 60;
+  for (int p = 0; p < kProcs; ++p) {
+    sim.spawn([](Simulation& s, Channel<int>& c, Semaphore& sm, Digest& d,
+                 int id, std::uint64_t sub) -> Process {
+      Rng r(sub);
+      for (int k = 0; k < kSteps; ++k) {
+        d.mix(std::uint64_t(id) << 32 | std::uint64_t(k));
+        d.mix(s.now().ns());
+        switch (r.next_below(4)) {
+          case 0:
+            co_await s.yield();
+            break;
+          case 1: {
+            co_await sm.acquire();
+            co_await s.yield();
+            sm.release();
+            break;
+          }
+          case 2: {
+            co_await c.send(id * kSteps + k);
+            break;
+          }
+          default: {
+            if (auto v = c.try_recv()) {
+              d.mix(std::uint64_t(*v));
+            } else {
+              co_await s.delay(SimTime::micros(std::int64_t(r.next_below(5))));
+            }
+            break;
+          }
+        }
+      }
+      // Drain leftovers so the channel empties and the run terminates.
+      while (auto v = c.try_recv()) d.mix(std::uint64_t(*v));
+    }(sim, ch, sem, digest, p, rng.next_u64()));
+  }
+  sim.run();
+  sim.check_failures();
+  return {digest.h, sim.events_processed()};
+}
+
+TEST(Determinism, KernelSoupDoubleRunIsBitIdentical) {
+  const auto a = run_kernel_soup(2024);
+  const auto b = run_kernel_soup(2024);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  // A different seed must actually change the interleaving, or the digest
+  // proves nothing.
+  const auto c = run_kernel_soup(2025);
+  EXPECT_NE(a.first, c.first);
+}
+
+// Full-stack determinism: a small Redbud testbed (the Figure 3/4 substrate)
+// run twice with one seed must produce identical event counts and stats.
+struct TestbedRunResult {
+  std::uint64_t events;
+  std::uint64_t ops;
+  double ops_per_sec;
+  double mb_per_sec;
+  std::uint64_t failures;
+};
+
+TestbedRunResult run_small_testbed(std::uint64_t seed) {
+  core::TestbedParams params;
+  params.protocol = core::Protocol::kRedbudDelayed;
+  params.nclients = 2;
+  workload::XcdnParams xp;
+  xp.file_bytes = 32 * 1024;
+  xp.threads_per_client = 2;
+  xp.initial_files_per_client = 100;
+  xp.write_fraction = 0.7;
+  workload::XcdnWorkload w(xp);
+  core::Testbed bed(params);
+  bed.start();
+  workload::RunOptions opt;
+  opt.seed = seed;
+  opt.warmup = SimTime::millis(200);
+  opt.duration = SimTime::millis(800);
+  auto r = run_workload(bed, w, opt);
+  return {bed.sim().events_processed(), r.ops, r.ops_per_sec, r.mb_per_sec,
+          r.verify_failures + r.op_errors};
+}
+
+TEST(Determinism, TestbedDoubleRunIsBitIdentical) {
+  const auto a = run_small_testbed(7);
+  const auto b = run_small_testbed(7);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.ops_per_sec, b.ops_per_sec);  // exact: same event sequence
+  EXPECT_EQ(a.mb_per_sec, b.mb_per_sec);
+  EXPECT_EQ(a.failures, 0u);
+  EXPECT_EQ(b.failures, 0u);
+  EXPECT_GT(a.ops, 0u);
+}
+
+TEST(Determinism, ZeroDelayWakeupChainsKeepFifoOrderUnderLoad) {
+  // 100 producers blocked on one semaphore released 100 times at a single
+  // timestamp: wakeups must resume in exact FIFO (acquire) order even
+  // though they all flow through the same-timestamp fast path.
+  Simulation sim;
+  Semaphore sem(sim, 0);
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    sim.spawn([](Simulation&, Semaphore& sm, std::vector<int>& log,
+                 int id) -> Process {
+      co_await sm.acquire();
+      log.push_back(id);
+    }(sim, sem, order, i));
+  }
+  sim.call_at(SimTime::millis(1), [&] { sem.release(100); });
+  sim.run();
+  sim.check_failures();
+  ASSERT_EQ(order.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+  EXPECT_EQ(order.front(), 0);
+  EXPECT_EQ(order.back(), 99);
 }
 
 }  // namespace

@@ -214,6 +214,72 @@ TEST(Simulation, SpawnFromWithinProcess) {
   EXPECT_EQ(log, (std::vector<int>{1, 42}));
 }
 
+TEST(Simulation, SameTimeHeapAndRingEventsInterleaveBySeq) {
+  // f1 and f2 are scheduled for t=5ms ahead of time (heap path). When f1
+  // runs, it schedules f3 and f4 at the current time (ready-ring path).
+  // Global (time, seq) order demands f2 — scheduled earlier — runs before
+  // f3/f4 even though they sit in different structures.
+  Simulation sim;
+  std::vector<int> log;
+  sim.call_at(SimTime::millis(5), [&] {
+    log.push_back(1);
+    sim.call_in(SimTime::zero(), [&] { log.push_back(3); });
+    sim.call_at(SimTime::millis(5), [&] { log.push_back(4); });
+  });
+  sim.call_at(SimTime::millis(5), [&] { log.push_back(2); });
+  sim.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Simulation, ZeroDelayChainsStayFifoAcrossProcesses) {
+  // Two processes ping-ponging through zero-delay yields must interleave
+  // strictly (a FIFO ready queue), never letting one chain starve or
+  // overtake the other.
+  Simulation sim;
+  std::vector<int> log;
+  for (int id = 0; id < 2; ++id) {
+    sim.spawn([](Simulation& s, std::vector<int>& l, int me) -> Process {
+      for (int i = 0; i < 4; ++i) {
+        l.push_back(me * 10 + i);
+        co_await s.yield();
+      }
+    }(sim, log, id));
+  }
+  sim.run();
+  EXPECT_EQ(log, (std::vector<int>{0, 10, 1, 11, 2, 12, 3, 13}));
+}
+
+TEST(Simulation, YieldDoesNotAdvanceTime) {
+  Simulation sim;
+  SimTime seen = SimTime::max();
+  sim.spawn([](Simulation& s, SimTime& out) -> Process {
+    co_await s.delay(SimTime::millis(7));
+    co_await s.yield();
+    co_await s.yield();
+    out = s.now();
+  }(sim, seen));
+  sim.run();
+  EXPECT_EQ(seen, SimTime::millis(7));
+}
+
+TEST(Simulation, CallAtTimerMayScheduleMoreTimersWhileRunning) {
+  // Recycled timer slots: each callback schedules the next one, including
+  // zero-delay re-arms that land in the ready ring.
+  Simulation sim;
+  int fired = 0;
+  std::function<void()> rearm = [&] {
+    ++fired;
+    if (fired < 100) {
+      sim.call_in(fired % 3 == 0 ? SimTime::zero() : SimTime::micros(5),
+                  rearm);
+    }
+  };
+  sim.call_in(SimTime::micros(5), rearm);
+  sim.run();
+  EXPECT_EQ(fired, 100);
+  EXPECT_EQ(sim.events_processed(), 100u);
+}
+
 TEST(Simulation, ManyProcessesScale) {
   Simulation sim;
   std::vector<int> log;
