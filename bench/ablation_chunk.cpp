@@ -45,9 +45,13 @@ int main() {
       cell->merge = cluster->array().write_merge_ratio();
       cell->ops_per_sec = r.ops_per_sec;
       for (std::size_t c = 0; c < cluster->nclients(); ++c) {
-        cell->swaps += cluster->client(c).space_pool().swaps();
+        for (std::uint32_t s = 0; s < cluster->nshards(); ++s) {
+          cell->swaps += cluster->client(c).space_pool(s).swaps();
+        }
       }
-      cell->delegate_rpcs = cluster->mds().grants().size();
+      for (std::uint32_t s = 0; s < cluster->nshards(); ++s) {
+        cell->delegate_rpcs += cluster->mds(s).grants().size();
+      }
       std::fprintf(stderr, "  done: %lluMiB merge=%.3f\n",
                    static_cast<unsigned long long>(mib), cell->merge);
       return bed.sim().events_processed();

@@ -8,6 +8,7 @@
 // the file system can still be kept consistent"; the deliberately
 // unordered mode lets metadata outrun data and is caught by the checker;
 // orphan GC reclaims every unreachable block.
+#include <cstdint>
 #include <iostream>
 #include <string>
 
@@ -24,10 +25,11 @@ using redbud::sim::Simulation;
 
 namespace {
 
-ClusterParams crash_cluster(CommitMode mode) {
+ClusterParams crash_cluster(CommitMode mode, std::uint32_t nshards) {
   ClusterParams p;
   p.nclients = 4;
   p.array.ndisks = 2;
+  p.nshards = nshards;
   p.client.mode = mode;
   p.client.chunk_blocks = 1024;
   return p;
@@ -63,38 +65,44 @@ int main() {
   core::print_banner(std::cout, "Crash consistency sweep",
                      "crash at T, fsck the durable state, collect orphans");
 
-  core::Table table({"mode", "crash point", "durable commits",
+  core::Table table({"mode", "shards", "crash point", "durable commits",
                      "blocks checked", "inconsistent", "orphan blocks GC'd",
                      "verdict"});
 
+  // Ordered modes must survive every crash point on a single MDS *and* on
+  // a sharded metadata cluster — a shard whose journal flushed out of
+  // step with its peers must not leave dangling metadata.
   bool ordered_ok = true;
   bool unordered_caught = false;
   for (auto mode :
        {CommitMode::kSync, CommitMode::kDelayed, CommitMode::kUnordered}) {
-    for (int crash_ms : {5, 25, 100, 400, 1500}) {
-      Cluster c(crash_cluster(mode));
-      c.start();
-      for (std::size_t i = 0; i < c.nclients(); ++i) {
-        c.sim().spawn(churn(c.sim(), c.client(i), int(i), 80));
-      }
-      c.sim().run_until(SimTime::millis(crash_ms));  // <- the crash
+    for (std::uint32_t nshards : {1u, 4u}) {
+      for (int crash_ms : {5, 25, 100, 400, 1500}) {
+        Cluster c(crash_cluster(mode, nshards));
+        c.start();
+        for (std::size_t i = 0; i < c.nclients(); ++i) {
+          c.sim().spawn(churn(c.sim(), c.client(i), int(i), 80));
+        }
+        c.sim().run_until(SimTime::millis(crash_ms));  // <- the crash
 
-      const auto report = core::check_consistency(c.mds(), c.array());
-      const auto gc = core::collect_orphans(c.mds());
-      const bool consistent = report.consistent();
-      if (mode == CommitMode::kUnordered) {
-        unordered_caught = unordered_caught || !consistent;
-      } else {
-        ordered_ok = ordered_ok && consistent;
+        const auto report = core::check_consistency(c);
+        const auto gc = core::collect_orphans(c);
+        const bool consistent = report.consistent();
+        if (mode == CommitMode::kUnordered) {
+          unordered_caught = unordered_caught || !consistent;
+        } else {
+          ordered_ok = ordered_ok && consistent;
+        }
+        table.add_row(
+            {mode_name(mode), std::to_string(nshards),
+             std::to_string(crash_ms) + " ms",
+             std::to_string(report.commits_checked),
+             std::to_string(report.blocks_checked),
+             std::to_string(report.inconsistent_blocks),
+             std::to_string(gc.provisional_blocks_freed +
+                            gc.delegated_blocks_reclaimed),
+             consistent ? "consistent" : "METADATA OUTRAN DATA"});
       }
-      table.add_row(
-          {mode_name(mode), std::to_string(crash_ms) + " ms",
-           std::to_string(report.commits_checked),
-           std::to_string(report.blocks_checked),
-           std::to_string(report.inconsistent_blocks),
-           std::to_string(gc.provisional_blocks_freed +
-                          gc.delegated_blocks_reclaimed),
-           consistent ? "consistent" : "METADATA OUTRAN DATA"});
     }
   }
   table.print(std::cout);

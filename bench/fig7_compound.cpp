@@ -46,6 +46,12 @@ int main() {
       cells.push_back(core::Table::fmt(per_client, 2));
       std::fprintf(stderr, "  done: daemons=%u degree=%u -> %.2f MB/s/client\n",
                    nd, degree, per_client);
+      // Per-op RPC service mix at the paper's operating point — shows
+      // commit RPCs dominating the MDS and their RTT under compounding.
+      if (nd == 8 && degree == 3) {
+        bed.cluster()->mds_endpoint().dump(
+            std::cout, "mds per-op RPC stats (8 daemons, degree 3)");
+      }
     }
     cells.push_back(nd == 1    ? "compounding helps most here"
                     : nd == 8  ? "best daemon count"

@@ -6,6 +6,7 @@
 // The cluster is crashed mid-burst (the simulation simply stops); the
 // recovery checker then replays the MDS's durable commit log against the
 // disks' durable contents.
+#include <cstdint>
 #include <cstdio>
 
 #include "core/recovery.hpp"
@@ -34,6 +35,7 @@ Process writer(Simulation& sim, client::ClientFs& fs, int id) {
 void crash_once(client::CommitMode mode, const char* label) {
   ClusterParams params;
   params.nclients = 2;
+  params.nshards = 2;  // recovery must hold across a sharded MDS cluster
   params.client.mode = mode;
   Cluster cluster(params);
   cluster.start();
@@ -44,7 +46,9 @@ void crash_once(client::CommitMode mode, const char* label) {
   // CRASH: stop the world 40 ms in, with writes and commits in flight.
   cluster.sim().run_until(SimTime::millis(40));
 
-  const auto report = core::check_consistency(cluster.mds(), cluster.array());
+  // Whole-cluster check: every shard's durable commit log against the
+  // shared array.
+  const auto report = core::check_consistency(cluster);
   std::printf("%s\n", label);
   std::printf("  durable commits in the journal        : %llu\n",
               static_cast<unsigned long long>(report.commits_checked));
@@ -54,16 +58,24 @@ void crash_once(client::CommitMode mode, const char* label) {
               static_cast<unsigned long long>(report.inconsistent_blocks),
               report.consistent() ? "(consistent)" : "(INCONSISTENT!)");
 
-  const auto before = cluster.space().free_blocks();
-  const auto gc = core::collect_orphans(cluster.mds());
+  std::uint64_t before = 0;
+  for (std::uint32_t s = 0; s < cluster.nshards(); ++s) {
+    before += cluster.space(s).free_blocks();
+  }
+  const auto gc = core::collect_orphans(cluster);
+  std::uint64_t after = 0;
+  bool valid = true;
+  for (std::uint32_t s = 0; s < cluster.nshards(); ++s) {
+    after += cluster.space(s).free_blocks();
+    valid = valid && cluster.space(s).validate();
+  }
   std::printf("  orphaned blocks recycled by GC        : %llu"
               "  (provisional %llu + delegated %llu)\n",
-              static_cast<unsigned long long>(cluster.space().free_blocks() -
-                                              before),
+              static_cast<unsigned long long>(after - before),
               static_cast<unsigned long long>(gc.provisional_blocks_freed),
               static_cast<unsigned long long>(gc.delegated_blocks_reclaimed));
   std::printf("  allocator invariants after GC         : %s\n\n",
-              cluster.space().validate() ? "valid" : "BROKEN");
+              valid ? "valid" : "BROKEN");
 }
 
 }  // namespace

@@ -27,21 +27,28 @@ BlockRange block_range(std::uint64_t offset, std::uint32_t nbytes) {
 }  // namespace
 
 ClientFs::ClientFs(redbud::sim::Simulation& sim, net::Network& network,
-                   net::RpcEndpoint& mds, storage::DiskArray& array,
-                   ClientFsParams params)
+                   const core::ShardMap& smap,
+                   std::vector<net::RpcEndpoint*> mds_shards,
+                   storage::DiskArray& array, ClientFsParams params)
     : sim_(&sim),
-      mds_(&mds),
+      smap_(smap),
+      mds_(std::move(mds_shards)),
       array_(&array),
       params_(params),
       node_(network.add_node()),
       endpoint_(sim, network, node_),
       cache_(params.cache_pages),
-      pool_(params.chunk_blocks),
+      pools_(smap.nshards(), DoubleSpacePool(params.chunk_blocks)),
       queue_(sim),
-      compound_(params.compound),
-      pool_daemons_(sim, queue_, endpoint_, mds, compound_, cache_,
+      compound_(params.compound, smap.nshards()),
+      pool_daemons_(sim, queue_, endpoint_, mds_, compound_, cache_,
                     params.pool),
-      refill_done_(sim) {}
+      refill_done_(sim),
+      refill_in_progress_(smap.nshards(), 0),
+      refill_failed_(smap.nshards(), 0),
+      chunk_target_(smap.nshards(), params.chunk_blocks) {
+  assert(mds_.size() == smap_.nshards());
+}
 
 void ClientFs::start() {
   assert(!started_);
@@ -124,8 +131,9 @@ std::uint64_t ClientFs::known_size(net::FileId file) const {
 Process ClientFs::create_proc(net::DirId dir, std::string name,
                               SimPromise<net::FileId> p) {
   co_await sim_->delay(params_.cpu_op);
+  const std::uint32_t shard = smap_.shard_of_name(dir, name);
   net::RequestBody req = net::CreateReq{dir, std::move(name)};
-  auto fut = endpoint_.call(*mds_, std::move(req));
+  auto fut = endpoint_.call(*mds_[shard], std::move(req));
   auto resp = co_await fut;
   const auto& cr = std::get<net::CreateResp>(resp);
   if (cr.status == Status::kOk) files_[cr.file];  // fresh state
@@ -135,8 +143,9 @@ Process ClientFs::create_proc(net::DirId dir, std::string name,
 Process ClientFs::open_proc(net::DirId dir, std::string name,
                             SimPromise<OpenResult> p) {
   co_await sim_->delay(params_.cpu_op);
+  const std::uint32_t shard = smap_.shard_of_name(dir, name);
   net::RequestBody req = net::LookupReq{dir, std::move(name)};
-  auto fut = endpoint_.call(*mds_, std::move(req));
+  auto fut = endpoint_.call(*mds_[shard], std::move(req));
   auto resp = co_await fut;
   const auto& lr = std::get<net::LookupResp>(resp);
   OpenResult out;
@@ -198,11 +207,18 @@ Process ClientFs::allocate_space(net::FileId file, std::uint64_t file_block,
     }
   }
 
+  // All of a file's space comes from its home shard: the shard's pool for
+  // delegated allocations, the shard's MDS for central ones. That keeps
+  // every extent inside the shard's disjoint device partition, so frees
+  // and recovery never cross shards.
+  const std::uint32_t shard = smap_.shard_of_file(file);
+  DoubleSpacePool& pool = pools_[shard];
   for (const auto& hole : holes) {
-    if (params_.delegation && pool_.eligible(hole.count)) {
+    bool central = !(params_.delegation && pool.eligible(hole.count));
+    if (!central) {
       // Local allocation from the delegated double space pool.
       for (;;) {
-        if (auto got = pool_.alloc(hole.count)) {
+        if (auto got = pool.alloc(hole.count)) {
           net::Extent e;
           e.file_block = hole.block;
           e.nblocks = hole.count;
@@ -210,23 +226,33 @@ Process ClientFs::allocate_space(net::FileId file, std::uint64_t file_block,
           out->push_back(e);
           break;
         }
-        if (!refill_in_progress_) {
-          refill_in_progress_ = true;
-          sim_->spawn(refill_proc());
+        if (refill_failed_[shard]) {
+          // The shard's partition could not produce a contiguous chunk
+          // just now. Take this hole through central allocation (which
+          // can splice small runs) instead of spinning on delegation;
+          // the next refill attempt will try a smaller chunk.
+          refill_failed_[shard] = 0;
+          central = true;
+          break;
+        }
+        if (!refill_in_progress_[shard]) {
+          refill_in_progress_[shard] = 1;
+          sim_->spawn(refill_proc(shard));
         }
         co_await refill_done_.wait();
       }
       // Keep the standby pool filled off the critical path.
-      if (pool_.needs_refill() && !refill_in_progress_) {
-        refill_in_progress_ = true;
-        sim_->spawn(refill_proc());
+      if (pool.needs_refill() && !refill_in_progress_[shard]) {
+        refill_in_progress_[shard] = 1;
+        sim_->spawn(refill_proc(shard));
       }
-      if (pool_.has_leftover()) sim_->spawn(return_leftovers_proc());
-    } else {
+      if (pool.has_leftover()) sim_->spawn(return_leftovers_proc(shard));
+    }
+    if (central) {
       // Central allocation at the MDS.
       net::RequestBody req =
           net::LayoutGetReq{file, hole.block, hole.count, true};
-      auto fut = endpoint_.call(*mds_, std::move(req));
+      auto fut = endpoint_.call(*mds_[shard], std::move(req));
       auto resp = co_await fut;
       const auto& lg = std::get<net::LayoutGetResp>(resp);
       if (lg.status != Status::kOk) {
@@ -245,23 +271,34 @@ Process ClientFs::allocate_space(net::FileId file, std::uint64_t file_block,
   p.set_value(Status::kOk);
 }
 
-Process ClientFs::refill_proc() {
-  net::RequestBody req = net::DelegateReq{params_.chunk_blocks};
-  auto fut = endpoint_.call(*mds_, std::move(req));
+Process ClientFs::refill_proc(std::uint32_t shard) {
+  net::RequestBody req = net::DelegateReq{chunk_target_[shard]};
+  auto fut = endpoint_.call(*mds_[shard], std::move(req));
   auto resp = co_await fut;
   const auto& dr = std::get<net::DelegateResp>(resp);
-  refill_in_progress_ = false;
+  refill_in_progress_[shard] = 0;
   if (dr.status == Status::kOk) {
-    pool_.install_chunk(mds::PhysExtent{dr.start, dr.nblocks});
+    pools_[shard].install_chunk(mds::PhysExtent{dr.start, dr.nblocks});
+    refill_failed_[shard] = 0;
+    // Recover the chunk size gradually after a shrink.
+    chunk_target_[shard] =
+        std::min(params_.chunk_blocks, chunk_target_[shard] * 2);
+  } else {
+    // An aged partition may have no contiguous run of the requested size
+    // left. Ask for half next time rather than hammering the MDS, and
+    // let waiters fall back to central allocation meanwhile.
+    refill_failed_[shard] = 1;
+    chunk_target_[shard] = std::max<std::uint64_t>(64, chunk_target_[shard] / 2);
   }
   refill_done_.notify_all();
 }
 
-Process ClientFs::return_leftovers_proc() {
-  while (auto leftover = pool_.take_leftover()) {
+Process ClientFs::return_leftovers_proc(std::uint32_t shard) {
+  // Leftovers go back to the shard that granted them.
+  while (auto leftover = pools_[shard].take_leftover()) {
     net::RequestBody req =
         net::DelegateReturnReq{leftover->addr, leftover->nblocks};
-    auto fut = endpoint_.call(*mds_, std::move(req));
+    auto fut = endpoint_.call(*mds_[shard], std::move(req));
     (void)co_await fut;
   }
 }
@@ -349,7 +386,7 @@ Process ClientFs::write_proc(net::FileId file, std::uint64_t offset,
       creq.entries.push_back(
           net::CommitEntry{file, extents, new_size, tokens});
       net::RequestBody req = std::move(creq);
-      auto fut = endpoint_.call(*mds_, std::move(req));
+      auto fut = endpoint_.call(mds_of(file), std::move(req));
       (void)co_await fut;
       for (std::uint32_t i = 0; i < range.count; ++i) {
         cache_.mark_clean(file, range.first + i);
@@ -377,7 +414,7 @@ Process ClientFs::write_proc(net::FileId file, std::uint64_t offset,
       creq.entries.push_back(
           net::CommitEntry{file, extents, new_size, tokens});
       net::RequestBody req = std::move(creq);
-      auto fut = endpoint_.call(*mds_, std::move(req));
+      auto fut = endpoint_.call(mds_of(file), std::move(req));
       (void)co_await fut;
       p.set_value(Status::kOk);
       break;
@@ -427,7 +464,7 @@ Process ClientFs::read_proc(net::FileId file, std::uint64_t offset,
     if (!covered) {
       net::RequestBody req =
           net::LayoutGetReq{file, range.first, range.count, false};
-      auto fut = endpoint_.call(*mds_, std::move(req));
+      auto fut = endpoint_.call(mds_of(file), std::move(req));
       auto resp = co_await fut;
       const auto& lg = std::get<net::LayoutGetResp>(resp);
       if (lg.status != Status::kOk) {
@@ -502,9 +539,11 @@ Process ClientFs::fsync_proc(net::FileId file, SimPromise<Status> p) {
 Process ClientFs::remove_proc(net::DirId dir, std::string name,
                               SimPromise<Status> p) {
   co_await sim_->delay(params_.cpu_op);
+  // The entry's shard serves both the lookup and the remove.
+  const std::uint32_t shard = smap_.shard_of_name(dir, name);
   // Resolve the id so local state can be dropped.
   net::RequestBody lreq = net::LookupReq{dir, name};
-  auto lfut = endpoint_.call(*mds_, std::move(lreq));
+  auto lfut = endpoint_.call(*mds_[shard], std::move(lreq));
   auto lresp = co_await lfut;
   const auto& lr = std::get<net::LookupResp>(lresp);
   if (lr.status == Status::kOk) {
@@ -513,7 +552,7 @@ Process ClientFs::remove_proc(net::DirId dir, std::string name,
     files_.erase(lr.file);
   }
   net::RequestBody req = net::RemoveReq{dir, std::move(name)};
-  auto fut = endpoint_.call(*mds_, std::move(req));
+  auto fut = endpoint_.call(*mds_[shard], std::move(req));
   auto resp = co_await fut;
   p.set_value(std::get<net::RemoveResp>(resp).status);
 }

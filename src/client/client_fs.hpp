@@ -14,6 +14,13 @@
 //
 // Space delegation (double space pool) and the adaptive commit machinery
 // are wired here.
+//
+// The client is shard-aware: namespace ops (create/open/remove) route by
+// the ShardMap's (dir, name) hash, per-file ops (layout/commit/stat)
+// route by the shard tag in the FileId, and the delegation machinery
+// keeps one double space pool per shard — a file's space always comes
+// from its home shard's disjoint partition, so frees and recovery stay
+// shard-local. A single-shard deployment behaves exactly as before.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +35,7 @@
 #include "client/compound_controller.hpp"
 #include "client/page_cache.hpp"
 #include "client/space_pool.hpp"
+#include "core/shard_map.hpp"
 #include "fsapi/fs_client.hpp"
 #include "net/rpc.hpp"
 #include "storage/disk_array.hpp"
@@ -57,9 +65,13 @@ using ReadResult = fsapi::ReadResult;
 
 class ClientFs final : public fsapi::FsClient {
  public:
+  // `mds_shards[s]` is the endpoint of metadata shard s; `smap` decides
+  // which shard each operation targets. Single-MDS callers pass a
+  // one-element vector and ShardMap(1).
   ClientFs(redbud::sim::Simulation& sim, net::Network& network,
-           net::RpcEndpoint& mds, storage::DiskArray& array,
-           ClientFsParams params);
+           const core::ShardMap& smap,
+           std::vector<net::RpcEndpoint*> mds_shards,
+           storage::DiskArray& array, ClientFsParams params);
   ClientFs(const ClientFs&) = delete;
   ClientFs& operator=(const ClientFs&) = delete;
 
@@ -96,7 +108,12 @@ class ClientFs final : public fsapi::FsClient {
   [[nodiscard]] CommitDaemonPool& commit_pool() { return pool_daemons_; }
   [[nodiscard]] CompoundController& compound() { return compound_; }
   [[nodiscard]] PageCache& cache() { return cache_; }
-  [[nodiscard]] DoubleSpacePool& space_pool() { return pool_; }
+  // Shard 0's pool — the whole story on a single-MDS cluster.
+  [[nodiscard]] DoubleSpacePool& space_pool() { return pools_[0]; }
+  [[nodiscard]] DoubleSpacePool& space_pool(std::uint32_t shard) {
+    return pools_[shard];
+  }
+  [[nodiscard]] const core::ShardMap& shard_map() const { return smap_; }
   [[nodiscard]] const ClientFsParams& params() const { return params_; }
   [[nodiscard]] std::uint64_t writes_issued() const { return writes_; }
   [[nodiscard]] std::uint64_t reads_issued() const { return reads_; }
@@ -133,8 +150,8 @@ class ClientFs final : public fsapi::FsClient {
                                   redbud::sim::SimPromise<net::Status> p);
   redbud::sim::Process remove_proc(net::DirId dir, std::string name,
                                    redbud::sim::SimPromise<net::Status> p);
-  redbud::sim::Process refill_proc();
-  redbud::sim::Process return_leftovers_proc();
+  redbud::sim::Process refill_proc(std::uint32_t shard);
+  redbud::sim::Process return_leftovers_proc(std::uint32_t shard);
 
   // Allocate physical extents for [file_block, file_block + nblocks).
   // Fills `out` (file-block annotated) — may suspend on a delegation
@@ -147,20 +164,32 @@ class ClientFs final : public fsapi::FsClient {
 
   void cache_layout(FileState& st, const std::vector<net::Extent>& extents);
   [[nodiscard]] FileState& state(net::FileId file) { return files_[file]; }
+  // Endpoint of the shard owning `file`.
+  [[nodiscard]] net::RpcEndpoint& mds_of(net::FileId file) {
+    return *mds_[smap_.shard_of_file(file)];
+  }
 
   redbud::sim::Simulation* sim_;
-  net::RpcEndpoint* mds_;
+  core::ShardMap smap_;
+  std::vector<net::RpcEndpoint*> mds_;
   storage::DiskArray* array_;
   ClientFsParams params_;
   net::NodeId node_;
   net::RpcEndpoint endpoint_;
   PageCache cache_;
-  DoubleSpacePool pool_;
+  std::vector<DoubleSpacePool> pools_;  // one per shard
   CommitQueue queue_;
   CompoundController compound_;
   CommitDaemonPool pool_daemons_;
   redbud::sim::Signal refill_done_;
-  bool refill_in_progress_ = false;
+  std::vector<std::uint8_t> refill_in_progress_;  // per shard
+  // Last refill attempt came back kNoSpace; allocate_space falls back to
+  // central allocation instead of re-requesting in a tight loop.
+  std::vector<std::uint8_t> refill_failed_;  // per shard
+  // Adaptive delegation chunk: halved when the shard's partition cannot
+  // produce a contiguous chunk (aged/fragmented volume), doubled back
+  // toward params_.chunk_blocks on success.
+  std::vector<std::uint64_t> chunk_target_;  // per shard
   bool started_ = false;
   std::unordered_map<net::FileId, FileState> files_;
   std::uint64_t writes_ = 0;

@@ -10,17 +10,18 @@ using redbud::sim::SimTime;
 
 CommitDaemonPool::CommitDaemonPool(redbud::sim::Simulation& sim,
                                    CommitQueue& queue, net::RpcEndpoint& self,
-                                   net::RpcEndpoint& mds,
+                                   std::vector<net::RpcEndpoint*> mds_shards,
                                    CompoundController& compound,
                                    PageCache& cache, CommitPoolParams params)
     : sim_(&sim),
       queue_(&queue),
       self_(&self),
-      mds_(&mds),
+      mds_(std::move(mds_shards)),
       compound_(&compound),
       cache_(&cache),
       params_(params) {
   assert(params_.max_threads >= 1 && params_.max_queue_len >= 1);
+  assert(!mds_.empty());
 }
 
 void CommitDaemonPool::start() {
@@ -73,12 +74,18 @@ Process CommitDaemonPool::daemon() {
       co_await queue_->work().wait();
       continue;
     }
-    auto batch = queue_->checkout(compound_->degree());
-    if (batch.empty()) {
+    const auto ready_shard = queue_->first_ready_shard();
+    if (!ready_shard) {
       // Entries exist but their data writes are still in flight: poll.
       co_await sim_->delay(params_.poll_interval);
       continue;
     }
+    auto batch = queue_->checkout(compound_->degree(*ready_shard));
+    if (batch.empty()) {
+      co_await sim_->delay(params_.poll_interval);
+      continue;
+    }
+    const std::uint32_t shard = batch.front().shard;
 
     net::CommitReq req;
     req.entries.reserve(batch.size());
@@ -92,12 +99,12 @@ Process CommitDaemonPool::daemon() {
     }
 
     const SimTime sent_at = sim_->now();
-    auto fut = self_->call(*mds_, std::move(req));
+    auto fut = self_->call(*mds_[shard], std::move(req));
     auto resp = co_await fut;
     const auto& cr = std::get<net::CommitResp>(resp);
     ++rpcs_sent_;
     entries_committed_ += batch.size();
-    compound_->on_reply(cr.mds_queue_len, sim_->now() - sent_at);
+    compound_->on_reply(shard, cr.mds_queue_len, sim_->now() - sent_at);
 
     for (auto& task : batch) {
       for (const auto& e : task.extents) {

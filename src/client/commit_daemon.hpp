@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "client/commit_queue.hpp"
 #include "client/compound_controller.hpp"
@@ -32,8 +33,12 @@ struct CommitPoolParams {
 
 class CommitDaemonPool {
  public:
+  // `mds_shards[s]` is the endpoint of metadata shard s; checkout()
+  // guarantees every batch is homogeneous, so each compound RPC goes to
+  // exactly one shard's endpoint.
   CommitDaemonPool(redbud::sim::Simulation& sim, CommitQueue& queue,
-                   net::RpcEndpoint& self, net::RpcEndpoint& mds,
+                   net::RpcEndpoint& self,
+                   std::vector<net::RpcEndpoint*> mds_shards,
                    CompoundController& compound, PageCache& cache,
                    CommitPoolParams params);
   CommitDaemonPool(const CommitDaemonPool&) = delete;
@@ -71,7 +76,7 @@ class CommitDaemonPool {
   redbud::sim::Simulation* sim_;
   CommitQueue* queue_;
   net::RpcEndpoint* self_;
-  net::RpcEndpoint* mds_;
+  std::vector<net::RpcEndpoint*> mds_;
   CompoundController* compound_;
   PageCache* cache_;
   CommitPoolParams params_;

@@ -21,6 +21,7 @@ void CommitQueue::add(net::FileId file, std::vector<net::Extent> extents,
   if (it == queued_.end()) {
     CommitTask task;
     task.file = file;
+    task.shard = net::shard_of_id(file);
     task.extents = std::move(extents);
     task.block_tokens = std::move(block_tokens);
     task.new_size_bytes = new_size_bytes;
@@ -81,12 +82,16 @@ std::vector<CommitTask> CommitQueue::checkout(std::size_t max) {
   // would make daemon polling quadratic in the queue length.
   constexpr std::size_t kScanLimit = 128;
   std::size_t scanned = 0;
+  // The first ready task pins the batch's target shard.
+  std::uint32_t batch_shard = 0;
   for (auto it = order_.begin();
        it != order_.end() && out.size() < max && scanned < kScanLimit;
        ++scanned) {
     auto qit = queued_.find(*it);
     assert(qit != queued_.end());
-    if (qit->second.data_complete()) {
+    if (qit->second.data_complete() &&
+        (out.empty() || qit->second.shard == batch_shard)) {
+      if (out.empty()) batch_shard = qit->second.shard;
       out.push_back(std::move(qit->second));
       queued_.erase(qit);
       it = order_.erase(it);
@@ -98,6 +103,17 @@ std::vector<CommitTask> CommitQueue::checkout(std::size_t max) {
   }
   if (!out.empty()) space_.notify_all();
   return out;
+}
+
+std::optional<std::uint32_t> CommitQueue::first_ready_shard() const {
+  constexpr std::size_t kScanLimit = 128;
+  std::size_t scanned = 0;
+  for (auto it = order_.begin(); it != order_.end() && scanned < kScanLimit;
+       ++it, ++scanned) {
+    const CommitTask& task = queued_.at(*it);
+    if (task.data_complete()) return task.shard;
+  }
+  return std::nullopt;
 }
 
 void CommitQueue::ack(CommitTask& task) {

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -27,6 +28,10 @@ namespace redbud::client {
 // One file's accumulated uncommitted metadata.
 struct CommitTask {
   net::FileId file = net::kInvalidFile;
+  // Home metadata shard of `file` (decoded from its id). A compound
+  // commit RPC targets exactly one shard, so checkout() only batches
+  // tasks that agree on this.
+  std::uint32_t shard = 0;
   std::vector<net::Extent> extents;
   std::vector<storage::ContentToken> block_tokens;  // per block of extents
   std::uint64_t new_size_bytes = 0;
@@ -68,7 +73,14 @@ class CommitQueue {
 
   // Daemon side: take up to `max` FIFO entries whose data writes are
   // complete. Checked-out tasks become "in flight" until ack()/fail().
+  // The first ready entry fixes the batch's shard; later ready entries
+  // homed on other shards are left queued for the next daemon pass, so a
+  // batch always forms a single-shard compound RPC.
   [[nodiscard]] std::vector<CommitTask> checkout(std::size_t max);
+  // Shard of the task a checkout() would pick first, or nullopt when no
+  // entry is ready. Lets the daemon size the batch with that shard's
+  // compound degree before committing to the checkout.
+  [[nodiscard]] std::optional<std::uint32_t> first_ready_shard() const;
   // Acknowledge an in-flight task: resolves waiters, updates stats.
   void ack(CommitTask& task);
   // Re-queue an in-flight task after a failed RPC.

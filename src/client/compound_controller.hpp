@@ -7,9 +7,15 @@
 //
 // Signals: the MDS queue length piggybacked on every commit reply, and
 // the observed commit RPC round-trip time (congestion proxy).
+//
+// With a sharded metadata cluster each shard is an independent server
+// with its own queue and its own network path, so the controller keeps
+// one (degree, EMA) state per shard. Single-shard deployments see the
+// exact same behaviour as before through the shard-0 default arguments.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
@@ -32,26 +38,37 @@ struct CompoundParams {
 
 class CompoundController {
  public:
-  explicit CompoundController(CompoundParams params);
+  explicit CompoundController(CompoundParams params, std::uint32_t nshards = 1);
 
-  [[nodiscard]] std::uint32_t degree() const {
-    return params_.adaptive ? degree_ : params_.fixed_degree;
+  [[nodiscard]] std::uint32_t degree(std::uint32_t shard = 0) const {
+    return params_.adaptive ? shards_[shard].degree : params_.fixed_degree;
   }
 
-  // Feed one commit-RPC observation.
-  void on_reply(std::uint32_t mds_queue_len, redbud::sim::SimTime rtt);
+  // Feed one commit-RPC observation from `shard`.
+  void on_reply(std::uint32_t shard, std::uint32_t mds_queue_len,
+                redbud::sim::SimTime rtt);
+  // Single-MDS convenience: observation from shard 0.
+  void on_reply(std::uint32_t mds_queue_len, redbud::sim::SimTime rtt) {
+    on_reply(0, mds_queue_len, rtt);
+  }
 
+  // Degree adjustments summed over all shards.
   [[nodiscard]] std::uint32_t increases() const { return increases_; }
   [[nodiscard]] std::uint32_t decreases() const { return decreases_; }
   [[nodiscard]] const CompoundParams& params() const { return params_; }
 
  private:
+  // Per-shard control state: exponentially-smoothed observations plus the
+  // current compound degree for commits bound to that shard.
+  struct ShardState {
+    std::uint32_t degree = 1;
+    double ema_queue = 0.0;
+    double ema_rtt_us = 0.0;
+    bool primed = false;
+  };
+
   CompoundParams params_;
-  std::uint32_t degree_;
-  // Exponentially-smoothed observations.
-  double ema_queue_ = 0.0;
-  double ema_rtt_us_ = 0.0;
-  bool primed_ = false;
+  std::vector<ShardState> shards_;
   std::uint32_t increases_ = 0;
   std::uint32_t decreases_ = 0;
 };

@@ -4,26 +4,68 @@
 
 namespace redbud::core {
 
-Cluster::Cluster(ClusterParams params) : params_(std::move(params)) {
+Cluster::Cluster(ClusterParams params)
+    : params_(std::move(params)), shard_map_(params_.nshards) {
   network_ = std::make_unique<net::Network>(sim_, params_.network);
   array_ = std::make_unique<storage::DiskArray>(sim_, params_.array);
 
-  // MDS: node + endpoint + metadata disk (journal) + space manager.
-  const auto mds_node = network_->add_node();
-  mds_endpoint_ = std::make_unique<net::RpcEndpoint>(sim_, *network_, mds_node);
-  meta_disk_ = std::make_unique<storage::Disk>(sim_, params_.metadata_disk);
-  meta_sched_ = std::make_unique<storage::IoScheduler>(
-      sim_, *meta_disk_, params_.array.scheduler);
-  journal_ =
-      std::make_unique<mds::Journal>(sim_, *meta_sched_, params_.journal);
-  space_ = std::make_unique<mds::SpaceManager>(
-      params_.array.ndisks, params_.array.disk.total_blocks, params_.space);
-  mds_ = std::make_unique<mds::MdsServer>(sim_, *mds_endpoint_, *space_,
-                                          *journal_, params_.mds);
+  // Metadata shards. Node ids are handed out in shard order before any
+  // client node, so a one-shard cluster reproduces the single-MDS node
+  // numbering (and hence event ordering) exactly.
+  //
+  // The data array's capacity is split among shards so they can never
+  // hand out overlapping physical blocks — frees and recovery stay
+  // shard-local by construction. kSliceDevices carves every device into
+  // nshards block ranges; kWholeDevices (when the disk count divides
+  // evenly) deals each shard its own contiguous run of spindles instead,
+  // so shards do not seek-interfere on a shared head.
+  const bool whole_devices =
+      params_.partition == SpacePartition::kWholeDevices &&
+      params_.array.ndisks % params_.nshards == 0;
+  const std::uint32_t devices_per_shard =
+      whole_devices ? params_.array.ndisks / params_.nshards
+                    : params_.array.ndisks;
+  const std::uint64_t span =
+      whole_devices ? params_.array.disk.total_blocks
+                    : params_.array.disk.total_blocks / params_.nshards;
+  assert(span > 0);
+  for (std::uint32_t s = 0; s < params_.nshards; ++s) {
+    auto sh = std::make_unique<Shard>();
+    const auto node = network_->add_node();
+    sh->endpoint = std::make_unique<net::RpcEndpoint>(sim_, *network_, node);
+
+    auto disk_params = params_.metadata_disk;
+    disk_params.seed += s;
+    sh->meta_disk = std::make_unique<storage::Disk>(sim_, disk_params);
+    sh->meta_sched = std::make_unique<storage::IoScheduler>(
+        sim_, *sh->meta_disk, params_.array.scheduler);
+    sh->journal =
+        std::make_unique<mds::Journal>(sim_, *sh->meta_sched, params_.journal);
+
+    auto space_params = params_.space;
+    space_params.seed += s;
+    if (whole_devices) {
+      space_params.device_base = s * devices_per_shard;
+    } else {
+      space_params.device_block_offset = std::uint64_t(s) * span;
+    }
+    sh->space = std::make_unique<mds::SpaceManager>(devices_per_shard, span,
+                                                    space_params);
+
+    auto mds_params = params_.mds;
+    mds_params.shard = s;
+    sh->mds = std::make_unique<mds::MdsServer>(sim_, *sh->endpoint, *sh->space,
+                                               *sh->journal, mds_params);
+    shards_.push_back(std::move(sh));
+  }
+
+  std::vector<net::RpcEndpoint*> endpoints;
+  endpoints.reserve(shards_.size());
+  for (auto& sh : shards_) endpoints.push_back(sh->endpoint.get());
 
   for (std::uint32_t i = 0; i < params_.nclients; ++i) {
     clients_.push_back(std::make_unique<client::ClientFs>(
-        sim_, *network_, *mds_endpoint_, *array_, params_.client));
+        sim_, *network_, shard_map_, endpoints, *array_, params_.client));
   }
 }
 
@@ -31,9 +73,11 @@ void Cluster::start() {
   assert(!started_);
   started_ = true;
   array_->start();
-  meta_sched_->start();
-  journal_->start();
-  mds_->start();
+  for (auto& sh : shards_) {
+    sh->meta_sched->start();
+    sh->journal->start();
+    sh->mds->start();
+  }
   for (auto& c : clients_) c->start();
 }
 

@@ -1,9 +1,20 @@
 // Cluster wiring: the paper's Figure 2 testbed in one object.
 //
-// One MDS node (RPC over Ethernet, metadata disk for the journal), N
-// client nodes running ClientFs, and a shared FC disk array the clients
-// write data to directly. Declaration order matters: the Simulation must
-// outlive every component, so it is the first member.
+// The metadata service is a cluster of `nshards` independent MDS shards.
+// Each shard has its own network node + RPC endpoint, its own metadata
+// disk (journal) behind its own I/O scheduler, its own MdsServer, and a
+// disjoint slice of every data device for its SpaceManager — shards never
+// allocate the same physical block. Clients run ClientFs and route
+// operations with the ShardMap; file data goes to the shared FC disk
+// array directly.
+//
+// nshards == 1 (the default) is the paper's single-MDS testbed,
+// event-for-event identical to the pre-sharding implementation; the
+// singular accessors (mds(), journal(), ...) alias shard 0 so existing
+// tests and benches read naturally.
+//
+// Declaration order matters: the Simulation must outlive every component,
+// so it is the first stateful member.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +22,7 @@
 #include <vector>
 
 #include "client/client_fs.hpp"
+#include "core/shard_map.hpp"
 #include "mds/mds_server.hpp"
 #include "net/network.hpp"
 #include "net/rpc.hpp"
@@ -19,8 +31,24 @@
 
 namespace redbud::core {
 
+// How the data array's capacity is divided among metadata shards.
+enum class SpacePartition : std::uint8_t {
+  // Every device is carved into nshards disjoint block ranges — each
+  // shard allocates on every spindle. Keeps single-device testbeds
+  // shardable, but on a seek-bound array the N active regions per
+  // device cost long head sweeps whenever shards interleave.
+  kSliceDevices,
+  // Whole devices are dealt out in contiguous runs: shard s owns devices
+  // [s * ndisks / nshards, (s + 1) * ndisks / nshards). Shards never
+  // share a spindle, so sharding adds no seek interference. Requires
+  // ndisks divisible by nshards; falls back to kSliceDevices otherwise.
+  kWholeDevices,
+};
+
 struct ClusterParams {
   std::uint32_t nclients = 7;  // the paper's eight-node cluster: 7 + MDS
+  std::uint32_t nshards = 1;   // metadata shards (1 = the paper's testbed)
+  SpacePartition partition = SpacePartition::kSliceDevices;
   net::NetworkParams network;
   storage::ArrayParams array;
   storage::DiskParams metadata_disk;
@@ -36,7 +64,7 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  // Spawn every daemon (schedulers, journal, MDS pool, client commit
+  // Spawn every daemon (schedulers, journals, MDS pools, client commit
   // pools). Call once before running.
   void start();
 
@@ -45,28 +73,56 @@ class Cluster {
   [[nodiscard]] client::ClientFs& client(std::size_t i) {
     return *clients_[i];
   }
-  [[nodiscard]] mds::MdsServer& mds() { return *mds_; }
   [[nodiscard]] storage::DiskArray& array() { return *array_; }
   [[nodiscard]] net::Network& network() { return *network_; }
-  [[nodiscard]] mds::Journal& journal() { return *journal_; }
-  [[nodiscard]] mds::SpaceManager& space() { return *space_; }
-  [[nodiscard]] net::RpcEndpoint& mds_endpoint() { return *mds_endpoint_; }
-  [[nodiscard]] storage::IoScheduler& metadata_scheduler() {
-    return *meta_sched_;
-  }
   [[nodiscard]] const ClusterParams& params() const { return params_; }
 
+  // --- sharded metadata service ---------------------------------------------
+  [[nodiscard]] std::uint32_t nshards() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  [[nodiscard]] const ShardMap& shard_map() const { return shard_map_; }
+  [[nodiscard]] mds::MdsServer& mds(std::size_t s) { return *shards_[s]->mds; }
+  [[nodiscard]] mds::Journal& journal(std::size_t s) {
+    return *shards_[s]->journal;
+  }
+  [[nodiscard]] mds::SpaceManager& space(std::size_t s) {
+    return *shards_[s]->space;
+  }
+  [[nodiscard]] net::RpcEndpoint& mds_endpoint(std::size_t s) {
+    return *shards_[s]->endpoint;
+  }
+  [[nodiscard]] storage::IoScheduler& metadata_scheduler(std::size_t s) {
+    return *shards_[s]->meta_sched;
+  }
+
+  // Shard-0 aliases: the full service on a single-shard cluster.
+  [[nodiscard]] mds::MdsServer& mds() { return mds(0); }
+  [[nodiscard]] mds::Journal& journal() { return journal(0); }
+  [[nodiscard]] mds::SpaceManager& space() { return space(0); }
+  [[nodiscard]] net::RpcEndpoint& mds_endpoint() { return mds_endpoint(0); }
+  [[nodiscard]] storage::IoScheduler& metadata_scheduler() {
+    return metadata_scheduler(0);
+  }
+
  private:
+  // One metadata shard: endpoint, metadata disk + scheduler, journal,
+  // space partition, server.
+  struct Shard {
+    std::unique_ptr<net::RpcEndpoint> endpoint;
+    std::unique_ptr<storage::Disk> meta_disk;
+    std::unique_ptr<storage::IoScheduler> meta_sched;
+    std::unique_ptr<mds::Journal> journal;
+    std::unique_ptr<mds::SpaceManager> space;
+    std::unique_ptr<mds::MdsServer> mds;
+  };
+
   ClusterParams params_;
+  ShardMap shard_map_;
   redbud::sim::Simulation sim_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<storage::DiskArray> array_;
-  std::unique_ptr<storage::Disk> meta_disk_;
-  std::unique_ptr<storage::IoScheduler> meta_sched_;
-  std::unique_ptr<mds::Journal> journal_;
-  std::unique_ptr<mds::SpaceManager> space_;
-  std::unique_ptr<net::RpcEndpoint> mds_endpoint_;
-  std::unique_ptr<mds::MdsServer> mds_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<client::ClientFs>> clients_;
   bool started_ = false;
 };

@@ -11,8 +11,13 @@ ConsistencyReport check_consistency(mds::MdsServer& mds,
                                     storage::DiskArray& array) {
   ConsistencyReport report;
 
-  // Replay the durable commit log: the expected durable content of each
-  // physical block is whatever the *latest* commit wrote there.
+  // Replay the durable mutation history: the expected durable content of
+  // each physical block is whatever the *latest* commit wrote there — and
+  // a durable remove retracts the removed file's expectations, because
+  // its freed blocks may be legally reallocated and rewritten with
+  // not-yet-committed data. Commits and removes share one seq counter
+  // stamped in execution order, so a merge by ascending seq reconstructs
+  // the shard's namespace history.
   struct Expected {
     storage::ContentToken token;
     std::size_t commit_index;
@@ -20,14 +25,39 @@ ConsistencyReport check_consistency(mds::MdsServer& mds,
   std::map<std::pair<std::uint32_t, storage::BlockNo>, Expected> expected;
 
   const auto& log = mds.durable_commits();
-  for (std::size_t ci = 0; ci < log.size(); ++ci) {
-    const auto& rec = log[ci];
+  const auto& removes = mds.durable_removes();
+  struct Event {
+    std::uint64_t seq;
+    bool is_remove;
+    std::size_t index;
+  };
+  std::vector<Event> events;
+  events.reserve(log.size() + removes.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    events.push_back({log[i].seq, false, i});
+  }
+  for (std::size_t i = 0; i < removes.size(); ++i) {
+    events.push_back({removes[i].seq, true, i});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+
+  for (const Event& ev : events) {
+    if (ev.is_remove) {
+      for (const auto& e : removes[ev.index].extents) {
+        for (std::uint32_t k = 0; k < e.nblocks; ++k) {
+          expected.erase({e.addr.device, e.addr.block + k});
+        }
+      }
+      continue;
+    }
+    const auto& rec = log[ev.index];
     std::size_t bi = 0;
     for (const auto& e : rec.extents) {
       for (std::uint32_t k = 0; k < e.nblocks; ++k, ++bi) {
         if (bi < rec.block_tokens.size()) {
           expected[{e.addr.device, e.addr.block + k}] =
-              Expected{rec.block_tokens[bi], ci};
+              Expected{rec.block_tokens[bi], ev.index};
         }
       }
     }
@@ -46,6 +76,19 @@ ConsistencyReport check_consistency(mds::MdsServer& mds,
   }
   report.inconsistent_commits = bad_commits.size();
   return report;
+}
+
+ConsistencyReport check_consistency(Cluster& cluster) {
+  ConsistencyReport total;
+  for (std::uint32_t s = 0; s < cluster.nshards(); ++s) {
+    const ConsistencyReport r =
+        check_consistency(cluster.mds(s), cluster.array());
+    total.commits_checked += r.commits_checked;
+    total.blocks_checked += r.blocks_checked;
+    total.inconsistent_blocks += r.inconsistent_blocks;
+    total.inconsistent_commits += r.inconsistent_commits;
+  }
+  return total;
 }
 
 GcReport collect_orphans(mds::MdsServer& mds) {
@@ -102,6 +145,18 @@ GcReport collect_orphans(mds::MdsServer& mds) {
     ++report.delegated_chunks_reclaimed;
   }
   return report;
+}
+
+GcReport collect_orphans(Cluster& cluster) {
+  GcReport total;
+  for (std::uint32_t s = 0; s < cluster.nshards(); ++s) {
+    const GcReport r = collect_orphans(cluster.mds(s));
+    total.provisional_extents_freed += r.provisional_extents_freed;
+    total.provisional_blocks_freed += r.provisional_blocks_freed;
+    total.delegated_chunks_reclaimed += r.delegated_chunks_reclaimed;
+    total.delegated_blocks_reclaimed += r.delegated_blocks_reclaimed;
+  }
+  return total;
 }
 
 }  // namespace redbud::core

@@ -38,6 +38,11 @@ struct ConsistencyReport {
 [[nodiscard]] ConsistencyReport check_consistency(mds::MdsServer& mds,
                                                   storage::DiskArray& array);
 
+// Whole-cluster check: every shard's durable commit log against the
+// shared array. Shard partitions are disjoint, so per-shard reports sum
+// without double counting.
+[[nodiscard]] ConsistencyReport check_consistency(Cluster& cluster);
+
 struct GcReport {
   std::uint64_t provisional_extents_freed = 0;
   std::uint64_t provisional_blocks_freed = 0;
@@ -49,5 +54,10 @@ struct GcReport {
 // allocations and outstanding delegation grants (minus their committed
 // parts, which stay owned by files).
 GcReport collect_orphans(mds::MdsServer& mds);
+
+// Whole-cluster GC: reclaim provisional allocations and outstanding
+// grants on every shard. Each shard frees only into its own space
+// partition — its grants and provisional extents came from there.
+GcReport collect_orphans(Cluster& cluster);
 
 }  // namespace redbud::core

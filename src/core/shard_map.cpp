@@ -1,0 +1,52 @@
+#include "core/shard_map.hpp"
+
+#include <cassert>
+
+namespace redbud::core {
+
+namespace {
+
+// splitmix64 finaliser — cheap, well-mixed, and stable across platforms
+// (routing must be identical on every node and every run).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// FNV-1a over the name bytes, then mixed.
+std::uint64_t hash_name(std::string_view name) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return mix64(h);
+}
+
+}  // namespace
+
+ShardMap::ShardMap(std::uint32_t nshards) : nshards_(nshards) {
+  assert(nshards_ >= 1 && nshards_ < net::kMaxShards);
+}
+
+std::uint32_t ShardMap::shard_of_dir(net::DirId dir) const {
+  if (nshards_ == 1) return 0;
+  return static_cast<std::uint32_t>(mix64(dir) % nshards_);
+}
+
+std::uint32_t ShardMap::shard_of_name(net::DirId dir,
+                                      std::string_view name) const {
+  if (nshards_ == 1) return 0;
+  const std::uint64_t stripe = hash_name(name);
+  return static_cast<std::uint32_t>((mix64(dir) + stripe) % nshards_);
+}
+
+std::uint32_t ShardMap::shard_of_file(net::FileId file) const {
+  const auto s = net::shard_of_id(file);
+  assert(s < nshards_);
+  return s;
+}
+
+}  // namespace redbud::core

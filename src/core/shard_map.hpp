@@ -1,0 +1,54 @@
+// ShardMap: routing policy of the sharded metadata service.
+//
+// The metadata service is a cluster of N independent MDS shards, each with
+// its own RPC endpoint, metadata disk + journal, and a disjoint slice of
+// the space manager's allocation groups. Placement rules:
+//
+//  * every directory has a *home shard*, a hash of its DirId;
+//  * a directory's entries are striped across shards by name hash,
+//    anchored at the home shard (the dirfrag idea: one giant directory —
+//    the simulated workloads hammer the root — must not serialise on a
+//    single shard). create/lookup/remove for the same (dir, name) always
+//    resolve to the same shard;
+//  * a file lives where it was created: its FileId carries the shard in
+//    the high bits (net::shard_of_id), so layout/commit/stat/fsync route
+//    without consulting any table.
+//
+// With nshards == 1 every function returns 0 and ids are untagged — the
+// paper's single-MDS testbed is the N=1 special case, bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "net/protocol.hpp"
+
+namespace redbud::core {
+
+class ShardMap {
+ public:
+  explicit ShardMap(std::uint32_t nshards);
+
+  [[nodiscard]] std::uint32_t nshards() const { return nshards_; }
+
+  // Home shard of a directory.
+  [[nodiscard]] std::uint32_t shard_of_dir(net::DirId dir) const;
+
+  // Shard owning the (dir, name) entry — the home shard offset by the
+  // name's stripe index. Used for create/lookup/remove.
+  [[nodiscard]] std::uint32_t shard_of_name(net::DirId dir,
+                                            std::string_view name) const;
+
+  // Shard owning a file, straight from the id's high bits.
+  [[nodiscard]] std::uint32_t shard_of_file(net::FileId file) const;
+
+  // The id-tag a shard's namespace mints ids with.
+  [[nodiscard]] static std::uint64_t id_tag(std::uint32_t shard) {
+    return net::shard_tag(shard);
+  }
+
+ private:
+  std::uint32_t nshards_;
+};
+
+}  // namespace redbud::core

@@ -90,24 +90,24 @@ bool Inode::validate() const {
   return true;
 }
 
-Namespace::Namespace() {
+Namespace::Namespace(std::uint64_t id_tag) : id_tag_(id_tag) {
   dirs_[net::kRootDir];  // root exists from the start
 }
 
 net::DirId Namespace::make_dir(net::DirId parent, const std::string& name) {
-  assert(dirs_.count(parent));
   (void)parent;
   (void)name;  // directory names are not needed by the simulated workloads
-  const net::DirId id = next_dir_++;
+  const net::DirId id = id_tag_ | next_dir_++;
   dirs_[id];
   return id;
 }
 
 net::FileId Namespace::create(net::DirId dir, const std::string& name) {
-  auto dit = dirs_.find(dir);
-  assert(dit != dirs_.end());
+  // Unknown directories materialise on first touch: a directory striped
+  // across shards exists on every shard its entries hash to.
+  auto dit = dirs_.try_emplace(dir).first;
   if (dit->second.count(name)) return net::kInvalidFile;
-  const net::FileId id = next_file_++;
+  const net::FileId id = id_tag_ | next_file_++;
   dit->second.emplace(name, id);
   inodes_.emplace(id, Inode(id));
   return id;

@@ -51,9 +51,14 @@ class Inode {
 };
 
 // The namespace: directories of name -> file, plus the inode table.
+//
+// `id_tag` is OR-ed into every minted FileId/DirId (high bits) — the
+// metadata shard that owns this namespace stamps its identity into the
+// ids it hands out, so clients can route by id alone. Tag 0 (shard 0,
+// and every pre-sharding caller) mints the same ids as always.
 class Namespace {
  public:
-  Namespace();
+  explicit Namespace(std::uint64_t id_tag = 0);
 
   [[nodiscard]] net::DirId make_dir(net::DirId parent, const std::string& name);
 
@@ -79,6 +84,7 @@ class Namespace {
   std::unordered_map<net::DirId, std::unordered_map<std::string, net::FileId>>
       dirs_;
   std::unordered_map<net::FileId, Inode> inodes_;
+  std::uint64_t id_tag_ = 0;
   net::FileId next_file_ = 1;
   net::DirId next_dir_ = 1;
 };

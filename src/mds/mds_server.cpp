@@ -17,8 +17,10 @@ MdsServer::MdsServer(redbud::sim::Simulation& sim, net::RpcEndpoint& endpoint,
       space_(&space),
       journal_(&journal),
       params_(params),
+      ns_(net::shard_tag(params.shard)),
       cpu_(sim, params.cores) {
   assert(params_.ndaemons > 0 && params_.cores > 0);
+  assert(params_.shard < net::kMaxShards);
 }
 
 void MdsServer::start() {
@@ -80,7 +82,22 @@ Process MdsServer::daemon() {
     cpu_.release();
 
     const bool journal = needs_journal(rpc.body);
-    ResponseBody resp = execute(rpc);
+    // execute() runs without suspension, so stamping seq right after it
+    // returns orders the records exactly as the mutations were applied —
+    // even with several daemons interleaving at their co_await points.
+    PendingDurable pending;
+    ResponseBody resp = execute(rpc, pending);
+    const std::uint64_t seq = durable_seq_++;
+
+    // A remove frees its blocks inside execute(), so the checker must see
+    // it from that instant — not from journal flush. Otherwise a crash in
+    // the execute→flush window keeps expectations for blocks that were
+    // already reallocated and legally rewritten.
+    for (auto& rec : pending.removes) {
+      rec.removed_at = sim_->now();
+      rec.seq = seq;
+      durable_removes_.push_back(std::move(rec));
+    }
 
     if (journal) {
       std::size_t bytes = params_.journal_record_bytes;
@@ -89,14 +106,12 @@ Process MdsServer::daemon() {
                                                    1, c->entries.size());
       }
       co_await journal_->append(bytes);
-      // Journal flushed: commits are now durable; record them for the
-      // recovery checker.
-      if (const auto* c = std::get_if<net::CommitReq>(&rpc.body)) {
-        for (const auto& e : c->entries) {
-          durable_commits_.push_back(DurableCommitRecord{
-              e.file, e.extents, e.block_tokens, e.new_size_bytes,
-              sim_->now()});
-        }
+      // Journal flushed: the staged mutations are now durable; record
+      // them for the recovery checker.
+      for (auto& rec : pending.commits) {
+        rec.committed_at = sim_->now();
+        rec.seq = seq;
+        durable_commits_.push_back(std::move(rec));
       }
     }
 
@@ -109,24 +124,30 @@ Process MdsServer::daemon() {
   }
 }
 
-ResponseBody MdsServer::execute(const net::IncomingRpc& rpc) {
+ResponseBody MdsServer::execute(const net::IncomingRpc& rpc,
+                                PendingDurable& pending) {
   ++ops_;
   struct Exec {
     MdsServer& s;
     net::NodeId from;
+    PendingDurable& pending;
     ResponseBody operator()(const net::CreateReq& r) { return s.do_create(r); }
     ResponseBody operator()(const net::LookupReq& r) { return s.do_lookup(r); }
     ResponseBody operator()(const net::LayoutGetReq& r) {
       return s.do_layout_get(r);
     }
-    ResponseBody operator()(const net::CommitReq& r) { return s.do_commit(r); }
+    ResponseBody operator()(const net::CommitReq& r) {
+      return s.do_commit(r, pending);
+    }
     ResponseBody operator()(const net::DelegateReq& r) {
       return s.do_delegate(r, from);
     }
     ResponseBody operator()(const net::DelegateReturnReq& r) {
       return s.do_delegate_return(r);
     }
-    ResponseBody operator()(const net::RemoveReq& r) { return s.do_remove(r); }
+    ResponseBody operator()(const net::RemoveReq& r) {
+      return s.do_remove(r, pending);
+    }
     ResponseBody operator()(const net::StatReq& r) { return s.do_stat(r); }
     ResponseBody operator()(const net::NfsWriteReq&) {
       return net::NfsWriteResp{Status::kNoEnt};
@@ -141,7 +162,7 @@ ResponseBody MdsServer::execute(const net::IncomingRpc& rpc) {
       return net::PvfsIoResp{Status::kNoEnt, {}};
     }
   };
-  return std::visit(Exec{*this, rpc.from}, rpc.body);
+  return std::visit(Exec{*this, rpc.from, pending}, rpc.body);
 }
 
 ResponseBody MdsServer::do_create(const net::CreateReq& r) {
@@ -218,7 +239,8 @@ ResponseBody MdsServer::do_layout_get(const net::LayoutGetReq& r) {
   return resp;
 }
 
-ResponseBody MdsServer::do_commit(const net::CommitReq& r) {
+ResponseBody MdsServer::do_commit(const net::CommitReq& r,
+                                  PendingDurable& pending) {
   for (const auto& entry : r.entries) {
     ++commit_entries_;
     Inode* ino = ns_.inode(entry.file);
@@ -229,6 +251,9 @@ ResponseBody MdsServer::do_commit(const net::CommitReq& r) {
       for (const auto& e : entry.extents) it->second.erase(e.file_block);
       if (it->second.empty()) provisional_.erase(it);
     }
+    pending.commits.push_back(DurableCommitRecord{
+        entry.file, entry.extents, entry.block_tokens, entry.new_size_bytes,
+        {}, 0});
   }
   return net::CommitResp{Status::kOk, 0};
 }
@@ -273,11 +298,14 @@ bool MdsServer::in_active_grant(const net::Extent& e) const {
   return false;
 }
 
-ResponseBody MdsServer::do_remove(const net::RemoveReq& r) {
+ResponseBody MdsServer::do_remove(const net::RemoveReq& r,
+                                  PendingDurable& pending) {
   auto id = ns_.lookup(r.dir, r.name);
   auto extents = ns_.remove(r.dir, r.name);
   if (!extents) return net::RemoveResp{Status::kNoEnt};
   if (id) provisional_.erase(*id);
+  pending.removes.push_back(DurableRemoveRecord{
+      id ? *id : net::kInvalidFile, *extents, {}, 0});
   for (const auto& e : *extents) {
     // Space inside an active delegation grant belongs to the client's
     // local pool; it is reclaimed when the grant is returned, not here.

@@ -24,6 +24,10 @@
 namespace redbud::mds {
 
 struct MdsParams {
+  // Which shard of the metadata cluster this server is. Minted ids carry
+  // the shard in their high bits (net::shard_tag); shard 0 mints the
+  // same ids a single-MDS deployment always did.
+  std::uint32_t shard = 0;
   // Server daemon threads (Figure 7 sweeps 1 / 8 / 16).
   std::uint32_t ndaemons = 8;
   // Physical cores backing the daemons (the paper's MDS has one).
@@ -45,13 +49,27 @@ struct MdsParams {
 };
 
 // A commit that reached stable storage (journal flushed). The recovery
-// checker validates these against durable disk contents.
+// checker validates these against durable disk contents. `seq` totally
+// orders durable mutations on one shard (shared with remove records):
+// it is assigned in execution order, so replaying commits and removes by
+// ascending seq reconstructs the namespace history exactly.
 struct DurableCommitRecord {
   net::FileId file = net::kInvalidFile;
   std::vector<net::Extent> extents;
   std::vector<storage::ContentToken> block_tokens;
   std::uint64_t new_size_bytes = 0;
   redbud::sim::SimTime committed_at;
+  std::uint64_t seq = 0;
+};
+
+// A remove that reached stable storage. Its extents were freed for reuse,
+// so the recovery checker must stop expecting the removed file's committed
+// tokens at those addresses — any later content there is legal.
+struct DurableRemoveRecord {
+  net::FileId file = net::kInvalidFile;
+  std::vector<net::Extent> extents;
+  redbud::sim::SimTime removed_at;
+  std::uint64_t seq = 0;
 };
 
 // An active space-delegation grant.
@@ -79,6 +97,10 @@ class MdsServer {
   [[nodiscard]] const std::vector<DurableCommitRecord>& durable_commits()
       const {
     return durable_commits_;
+  }
+  [[nodiscard]] const std::vector<DurableRemoveRecord>& durable_removes()
+      const {
+    return durable_removes_;
   }
   // Extents handed out by layout-get but not yet committed — the "orphan"
   // candidates ordered writes exist to keep unreachable.
@@ -109,19 +131,29 @@ class MdsServer {
   [[nodiscard]] redbud::sim::Gauge& queue_gauge() { return queue_gauge_; }
 
  private:
+  // Durable records staged by execute(): pushed to the durable logs only
+  // after the covering journal append flushes. Commit entries whose file
+  // was already removed are never staged — do_commit skipped them, so
+  // they must not create expectations for freed (reusable) blocks.
+  struct PendingDurable {
+    std::vector<DurableCommitRecord> commits;
+    std::vector<DurableRemoveRecord> removes;
+  };
+
   redbud::sim::Process daemon();
   [[nodiscard]] redbud::sim::SimTime cpu_cost(const net::RequestBody& body) const;
   [[nodiscard]] bool needs_journal(const net::RequestBody& body) const;
-  [[nodiscard]] net::ResponseBody execute(const net::IncomingRpc& rpc);
+  [[nodiscard]] net::ResponseBody execute(const net::IncomingRpc& rpc,
+                                          PendingDurable& pending);
   [[nodiscard]] bool in_active_grant(const net::Extent& e) const;
 
   net::ResponseBody do_create(const net::CreateReq& r);
   net::ResponseBody do_lookup(const net::LookupReq& r);
   net::ResponseBody do_layout_get(const net::LayoutGetReq& r);
-  net::ResponseBody do_commit(const net::CommitReq& r);
+  net::ResponseBody do_commit(const net::CommitReq& r, PendingDurable& pending);
   net::ResponseBody do_delegate(const net::DelegateReq& r, net::NodeId from);
   net::ResponseBody do_delegate_return(const net::DelegateReturnReq& r);
-  net::ResponseBody do_remove(const net::RemoveReq& r);
+  net::ResponseBody do_remove(const net::RemoveReq& r, PendingDurable& pending);
   net::ResponseBody do_stat(const net::StatReq& r);
 
   redbud::sim::Simulation* sim_;
@@ -138,6 +170,10 @@ class MdsServer {
       provisional_;
   std::vector<DelegationGrant> grants_;
   std::vector<DurableCommitRecord> durable_commits_;
+  std::vector<DurableRemoveRecord> durable_removes_;
+  // Execution-order stamp shared by both durable logs (see
+  // DurableCommitRecord::seq). Incremented once per executed RPC.
+  std::uint64_t durable_seq_ = 0;
 
   std::uint64_t ops_ = 0;
   std::uint64_t rpcs_ = 0;

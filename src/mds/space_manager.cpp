@@ -13,10 +13,24 @@ SpaceManager::SpaceManager(std::uint32_t ndevices,
   assert(per_ag > 0);
   for (std::uint32_t d = 0; d < ndevices; ++d) {
     for (std::uint32_t a = 0; a < params.ags_per_device; ++a) {
-      ags_.emplace_back(d, storage::BlockNo(a) * per_ag, per_ag);
+      ags_.emplace_back(
+          params.device_base + d,
+          params.device_block_offset + storage::BlockNo(a) * per_ag, per_ag);
       total_blocks_ += per_ag;
     }
   }
+}
+
+std::size_t SpaceManager::next_rr() {
+  const std::size_t j = rr_next_++;
+  if (params_.across_ags == AgSelect::kDeviceStripe) {
+    // AGs are device-major; remap the cursor so consecutive grants walk
+    // the devices before revisiting a device's next AG.
+    const std::size_t apd = params_.ags_per_device;
+    const std::size_t ndev = ags_.size() / apd;
+    return (j % ndev) * apd + (j / ndev) % apd;
+  }
+  return j % ags_.size();
 }
 
 std::size_t SpaceManager::pick_ag(std::uint64_t nblocks) {
@@ -29,11 +43,10 @@ std::size_t SpaceManager::pick_ag(std::uint64_t nblocks) {
   }
   // Round-robin over AGs that can plausibly serve the request.
   for (std::size_t tried = 0; tried < ags_.size(); ++tried) {
-    const std::size_t i = rr_next_;
-    rr_next_ = (rr_next_ + 1) % ags_.size();
+    const std::size_t i = next_rr();
     if (ags_[i].free_blocks() >= nblocks) return i;
   }
-  return rr_next_;
+  return rr_next_ % ags_.size();
 }
 
 std::vector<PhysExtent> SpaceManager::alloc(std::uint64_t nblocks) {
@@ -79,8 +92,7 @@ std::optional<PhysExtent> SpaceManager::alloc_contiguous(
     std::uint64_t nblocks) {
   assert(nblocks > 0);
   for (std::size_t tried = 0; tried < ags_.size(); ++tried) {
-    const std::size_t i = rr_next_;
-    rr_next_ = (rr_next_ + 1) % ags_.size();
+    const std::size_t i = next_rr();
     if (ags_[i].largest_free() >= nblocks) {
       auto got = ags_[i].alloc(nblocks, params_.within_ag);
       assert(got);

@@ -26,6 +26,14 @@ struct PhysExtent {
 enum class AgSelect : std::uint8_t {
   kRoundRobin,  // paper default
   kMostFree,
+  // Round-robin that rotates across *devices* first, then within a
+  // device's AGs. The AG list is device-major, so plain kRoundRobin
+  // parks the first ags_per_device allocations on device 0, the next
+  // batch on device 1, and so on — on a wide array a workload that only
+  // ever needs a handful of delegation chunks never reaches the upper
+  // spindles. Striping the cursor spreads consecutive chunk grants over
+  // every device, which is what a wide-array deployment wants.
+  kDeviceStripe,
 };
 
 struct SpaceManagerParams {
@@ -43,6 +51,16 @@ struct SpaceManagerParams {
   std::uint32_t frag_gap_min = 8;
   std::uint32_t frag_gap_max = 64;
   std::uint64_t seed = 0xA110C;
+  // First block this manager owns on every device. A sharded metadata
+  // cluster carves each device into disjoint [offset, offset + span)
+  // slices, one per shard, so shards never allocate the same physical
+  // block.
+  std::uint64_t device_block_offset = 0;
+  // First device this manager owns: extents carry absolute device ids
+  // device_base .. device_base + ndevices - 1. A whole-device-partitioned
+  // cluster (SpacePartition::kWholeDevices) gives each shard its own
+  // contiguous run of spindles.
+  std::uint32_t device_base = 0;
 };
 
 class SpaceManager {
@@ -70,6 +88,10 @@ class SpaceManager {
 
  private:
   [[nodiscard]] std::size_t pick_ag(std::uint64_t nblocks);
+  // Advance the round-robin cursor and return the AG index it names
+  // (identity order for kRoundRobin, device-interleaved for
+  // kDeviceStripe).
+  [[nodiscard]] std::size_t next_rr();
   [[nodiscard]] AllocGroup* ag_containing(storage::PhysAddr addr,
                                           std::uint64_t nblocks);
 

@@ -24,6 +24,26 @@ using ClientId = std::uint32_t;
 inline constexpr DirId kRootDir = 0;
 inline constexpr FileId kInvalidFile = ~FileId{0};
 
+// --- shard routing ----------------------------------------------------------
+//
+// The metadata service is an N-shard cluster. A file's owning shard is
+// encoded in the high bits of its FileId (ids are minted by that shard's
+// namespace), so routing a file op is a pure function of the id — no
+// lookup table, no extra RPC. DirIds minted by make_dir carry the same
+// tag. Shard 0 uses tag 0: a single-shard cluster produces exactly the
+// ids the unsharded code did.
+inline constexpr unsigned kShardBits = 8;
+inline constexpr unsigned kShardShift = 64 - kShardBits;
+// kInvalidFile's high byte is 0xFF; valid shards stay below this.
+inline constexpr std::uint32_t kMaxShards = 0xFF;
+
+[[nodiscard]] constexpr std::uint32_t shard_of_id(std::uint64_t id) {
+  return static_cast<std::uint32_t>(id >> kShardShift);
+}
+[[nodiscard]] constexpr std::uint64_t shard_tag(std::uint32_t shard) {
+  return std::uint64_t(shard) << kShardShift;
+}
+
 enum class Status : std::uint8_t {
   kOk,
   kNoEnt,

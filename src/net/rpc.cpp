@@ -1,6 +1,8 @@
 #include "net/rpc.hpp"
 
 #include <cassert>
+#include <iomanip>
+#include <ostream>
 
 namespace redbud::net {
 
@@ -94,13 +96,17 @@ SimFuture<ResponseBody> RpcEndpoint::call(RpcEndpoint& server,
   const std::uint64_t xid = next_xid_++;
   const std::size_t bytes = kRpcHeaderBytes + wire_size(body);
 
+  const char* op = op_name(body);
   SimPromise<ResponseBody> promise(*sim_);
   auto fut = promise.future();
-  pending_.emplace(xid, PendingCall{std::move(promise), sim_->now()});
+  pending_.emplace(xid, PendingCall{std::move(promise), sim_->now(), op});
   server.peers_[node_] = this;
 
   ++calls_sent_;
   req_bytes_sent_ += bytes;
+  auto& st = op_stats_[op];
+  ++st.sent;
+  st.bytes_sent += bytes;
   sim_->spawn(deliver_request(&server, xid, std::move(body), bytes));
   return fut;
 }
@@ -109,6 +115,7 @@ Process RpcEndpoint::deliver_request(RpcEndpoint* server, std::uint64_t xid,
                                      RequestBody body, std::size_t bytes) {
   co_await net_->send(node_, server->node_, bytes);
   ++server->calls_received_;
+  ++server->op_stats_[op_name(body)].received;
   const bool ok =
       server->incoming_.try_send(IncomingRpc{xid, node_, std::move(body)});
   assert(ok);
@@ -131,11 +138,36 @@ Process RpcEndpoint::deliver_response(NodeId to, std::uint64_t xid,
 void RpcEndpoint::complete_call(std::uint64_t xid, ResponseBody body) {
   auto it = pending_.find(xid);
   assert(it != pending_.end());
-  rtt_.record(sim_->now() - it->second.sent_at);
+  const SimTime rtt = sim_->now() - it->second.sent_at;
+  rtt_.record(rtt);
+  if (it->second.op != nullptr) op_stats_[it->second.op].rtt.record(rtt);
   it->second.promise.set_value(std::move(body));
   pending_.erase(it);
 }
 
 SimTime RpcEndpoint::mean_rtt() const { return rtt_.mean(); }
+
+void RpcEndpoint::dump(std::ostream& out, const std::string& label) const {
+  if (op_stats_.empty()) return;
+  out << "per-op RPC stats [" << label << "]\n";
+  out << "  " << std::left << std::setw(16) << "op" << std::right
+      << std::setw(10) << "sent" << std::setw(10) << "served" << std::setw(14)
+      << "bytes_sent" << std::setw(14) << "mean_rtt_us" << std::setw(13)
+      << "p99_rtt_us" << "\n";
+  for (const auto& [op, st] : op_stats_) {
+    out << "  " << std::left << std::setw(16) << op << std::right
+        << std::setw(10) << st.sent << std::setw(10) << st.received
+        << std::setw(14) << st.bytes_sent;
+    if (st.rtt.count() > 0) {
+      out << std::setw(14) << std::fixed << std::setprecision(1)
+          << st.rtt.mean().to_micros() << std::setw(13)
+          << st.rtt.percentile(0.99).to_micros();
+    } else {
+      out << std::setw(14) << "-" << std::setw(13) << "-";
+    }
+    out << "\n";
+  }
+  out.flush();
+}
 
 }  // namespace redbud::net

@@ -8,11 +8,15 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
 #include <unordered_map>
 
 #include "sim/channel.hpp"
 #include "sim/future.hpp"
 #include "sim/simulation.hpp"
+#include "sim/stats.hpp"
 #include "net/network.hpp"
 #include "net/protocol.hpp"
 
@@ -60,12 +64,28 @@ class RpcEndpoint {
   [[nodiscard]] redbud::sim::SimTime mean_rtt() const;
   [[nodiscard]] redbud::sim::LatencyHistogram& rtt() { return rtt_; }
 
+  // Per-op accounting, keyed by op_name(): calls issued/served by this
+  // endpoint, request bytes, and client-side round-trip histograms.
+  struct OpStats {
+    std::uint64_t sent = 0;          // calls issued from this endpoint
+    std::uint64_t received = 0;      // requests that arrived here
+    std::uint64_t bytes_sent = 0;    // request bytes incl. framing
+    redbud::sim::LatencyHistogram rtt;  // completed round trips
+  };
+  [[nodiscard]] const std::map<std::string, OpStats>& op_stats() const {
+    return op_stats_;
+  }
+  // Render the per-op table (op, sent, served, mean/p99 RTT) to `out`,
+  // prefixed with `label`. Prints nothing when no ops were recorded.
+  void dump(std::ostream& out, const std::string& label) const;
+
  private:
   friend class RpcRegistry;
 
   struct PendingCall {
     redbud::sim::SimPromise<ResponseBody> promise;
     redbud::sim::SimTime sent_at;
+    const char* op = nullptr;  // op_name() of the request, for op_stats_
   };
 
   redbud::sim::Process deliver_request(RpcEndpoint* server, std::uint64_t xid,
@@ -86,6 +106,7 @@ class RpcEndpoint {
   std::uint64_t calls_received_ = 0;
   std::uint64_t req_bytes_sent_ = 0;
   redbud::sim::LatencyHistogram rtt_;
+  std::map<std::string, OpStats> op_stats_;
 };
 
 }  // namespace redbud::net

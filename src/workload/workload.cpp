@@ -92,6 +92,16 @@ WorkloadResult run_workload(core::Testbed& bed, Workload& w,
   r.mb_per_sec = ctx.data.mb_per_second(measured);
   r.mean_latency = ctx.op_latency.mean();
   r.p99_latency = ctx.op_latency.percentile(99);
+  const auto fill = [](WorkloadResult::ClassStats& out,
+                       WorkloadContext::OpClass& in) {
+    out.count = in.count.value();
+    out.mean = in.latency.mean();
+    out.p99 = in.latency.percentile(99);
+  };
+  fill(r.read_stats, ctx.read_ops);
+  fill(r.write_stats, ctx.write_ops);
+  fill(r.meta_stats, ctx.meta_ops);
+  fill(r.fsync_stats, ctx.fsync_ops);
   r.verify_failures = ctx.verify_failures;
   r.op_errors = ctx.op_errors;
   return r;

@@ -100,6 +100,16 @@ struct WorkloadResult {
   double mb_per_sec = 0.0;
   redbud::sim::SimTime mean_latency = redbud::sim::SimTime::zero();
   redbud::sim::SimTime p99_latency = redbud::sim::SimTime::zero();
+  // Per-class latency breakdown (reads / writes / metadata / fsync).
+  struct ClassStats {
+    std::uint64_t count = 0;
+    redbud::sim::SimTime mean = redbud::sim::SimTime::zero();
+    redbud::sim::SimTime p99 = redbud::sim::SimTime::zero();
+  };
+  ClassStats read_stats;
+  ClassStats write_stats;
+  ClassStats meta_stats;
+  ClassStats fsync_stats;
   std::uint64_t verify_failures = 0;
   std::uint64_t op_errors = 0;
 };

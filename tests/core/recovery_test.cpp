@@ -3,6 +3,7 @@
 // unordered mode breaks it; orphan GC reclaims every unreachable block.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 
 #include "core/recovery.hpp"
@@ -15,9 +16,10 @@ using redbud::sim::Process;
 using redbud::sim::SimTime;
 using redbud::sim::Simulation;
 
-ClusterParams crash_cluster(CommitMode mode) {
+ClusterParams crash_cluster(CommitMode mode, std::uint32_t nshards = 1) {
   ClusterParams p;
   p.nclients = 2;
+  p.nshards = nshards;
   p.array.ndisks = 2;
   p.array.disk.total_blocks = 1 << 20;
   p.metadata_disk.total_blocks = 1 << 20;
@@ -40,15 +42,16 @@ Process churn(Simulation& sim, client::ClientFs& fs, int nfiles,
   }
 }
 
-// Crash the cluster at `crash_at` and check the invariant.
-ConsistencyReport crash_and_check(CommitMode mode, SimTime crash_at) {
-  Cluster c(crash_cluster(mode));
+// Crash the cluster at `crash_at` and check the invariant on every shard.
+ConsistencyReport crash_and_check(CommitMode mode, SimTime crash_at,
+                                  std::uint32_t nshards = 1) {
+  Cluster c(crash_cluster(mode, nshards));
   c.start();
   for (std::size_t i = 0; i < c.nclients(); ++i) {
     c.sim().spawn(churn(c.sim(), c.client(i), 60, 16384));
   }
   c.sim().run_until(crash_at);  // <- the crash: nothing after this runs
-  return check_consistency(c.mds(), c.array());
+  return check_consistency(c);
 }
 
 class CrashSweep : public ::testing::TestWithParam<int> {};
@@ -64,6 +67,16 @@ TEST_P(CrashSweep, SyncCommitAlwaysConsistent) {
 TEST_P(CrashSweep, DelayedCommitAlwaysConsistent) {
   const auto report =
       crash_and_check(CommitMode::kDelayed, SimTime::millis(GetParam()));
+  EXPECT_TRUE(report.consistent())
+      << report.inconsistent_blocks << " bad blocks of "
+      << report.blocks_checked;
+}
+
+TEST_P(CrashSweep, DelayedCommitConsistentAcrossShards) {
+  // Same invariant on a 4-shard metadata cluster: independently flushed
+  // shard journals must never leave any shard's metadata ahead of data.
+  const auto report = crash_and_check(CommitMode::kDelayed,
+                                      SimTime::millis(GetParam()), 4);
   EXPECT_TRUE(report.consistent())
       << report.inconsistent_blocks << " bad blocks of "
       << report.blocks_checked;
@@ -97,31 +110,44 @@ TEST(CrashConsistency, UnorderedModeViolatesInvariant) {
 }
 
 TEST(CrashConsistency, OrphanGcReclaimsAllSpace) {
-  Cluster c(crash_cluster(CommitMode::kDelayed));
+  // Two shards: GC must stay shard-local (each shard frees into its own
+  // partition) while the cluster-wide accounting still closes.
+  Cluster c(crash_cluster(CommitMode::kDelayed, 2));
   c.start();
   for (std::size_t i = 0; i < c.nclients(); ++i) {
     c.sim().spawn(churn(c.sim(), c.client(i), 40, 16384));
   }
   c.sim().run_until(SimTime::millis(60));  // crash mid-churn
 
-  const auto before_free = c.space().free_blocks();
-  const auto report = collect_orphans(c.mds());
-  const auto after_free = c.space().free_blocks();
+  const auto free_blocks = [&c] {
+    std::uint64_t n = 0;
+    for (std::uint32_t s = 0; s < c.nshards(); ++s) {
+      n += c.space(s).free_blocks();
+    }
+    return n;
+  };
+  const auto before_free = free_blocks();
+  const auto report = collect_orphans(c);
+  const auto after_free = free_blocks();
 
-  // GC freed exactly what it reports, and the allocator stays valid.
+  // GC freed exactly what it reports, and every allocator stays valid.
   EXPECT_EQ(after_free - before_free, report.provisional_blocks_freed +
                                           report.delegated_blocks_reclaimed);
-  EXPECT_TRUE(c.space().validate());
-  EXPECT_EQ(c.mds().provisional_extent_count(), 0u);
-  EXPECT_TRUE(c.mds().grants().empty());
+  std::uint64_t committed = 0;
+  std::uint64_t total = 0;
+  for (std::uint32_t s = 0; s < c.nshards(); ++s) {
+    EXPECT_TRUE(c.space(s).validate());
+    EXPECT_EQ(c.mds(s).provisional_extent_count(), 0u);
+    EXPECT_TRUE(c.mds(s).grants().empty());
+    for (const auto& [id, ino] : c.mds(s).ns().inodes()) {
+      (void)id;
+      for (const auto& e : ino.all_extents()) committed += e.nblocks;
+    }
+    total += c.space(s).total_blocks();
+  }
 
   // Accounting closes: free space + committed extents == total.
-  std::uint64_t committed = 0;
-  for (const auto& [id, ino] : c.mds().ns().inodes()) {
-    (void)id;
-    for (const auto& e : ino.all_extents()) committed += e.nblocks;
-  }
-  EXPECT_EQ(after_free + committed, c.space().total_blocks());
+  EXPECT_EQ(after_free + committed, total);
 }
 
 TEST(CrashConsistency, GcOnCleanShutdownReclaimsDelegationsOnly) {
@@ -142,12 +168,12 @@ TEST(CrashConsistency, GcOnCleanShutdownReclaimsDelegationsOnly) {
   c.sim().run_until(c.sim().now() + SimTime::seconds(30));
   ASSERT_TRUE(done);
 
-  const auto report = collect_orphans(c.mds());
+  const auto report = collect_orphans(c);
   EXPECT_EQ(report.provisional_extents_freed, 0u);  // everything committed
   EXPECT_GT(report.delegated_chunks_reclaimed, 0u);
   EXPECT_TRUE(c.space().validate());
   // The committed file's blocks survived GC.
-  const auto check = check_consistency(c.mds(), c.array());
+  const auto check = check_consistency(c);
   EXPECT_TRUE(check.consistent());
   EXPECT_GT(check.blocks_checked, 0u);
 }

@@ -1,0 +1,85 @@
+// ShardMap routing-policy tests: single-shard identity, deterministic
+// routing, id-tag round trips, and reasonable spread of one directory's
+// entries across shards (the dirfrag striping property).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/shard_map.hpp"
+
+namespace redbud::core {
+namespace {
+
+TEST(ShardMap, SingleShardRoutesEverythingToZero) {
+  ShardMap m(1);
+  EXPECT_EQ(m.nshards(), 1u);
+  for (net::DirId dir : {net::kRootDir, net::DirId(7), net::DirId(123456)}) {
+    EXPECT_EQ(m.shard_of_dir(dir), 0u);
+    EXPECT_EQ(m.shard_of_name(dir, "a"), 0u);
+    EXPECT_EQ(m.shard_of_name(dir, "some_longer_name.dat"), 0u);
+  }
+  // Untagged ids (shard 0 mints ids with tag 0).
+  EXPECT_EQ(m.shard_of_file(1), 0u);
+  EXPECT_EQ(m.shard_of_file(0xFFFFFF), 0u);
+  EXPECT_EQ(ShardMap::id_tag(0), 0u);
+}
+
+TEST(ShardMap, RoutingIsDeterministicAcrossInstances) {
+  ShardMap a(8);
+  ShardMap b(8);
+  for (int i = 0; i < 200; ++i) {
+    const std::string name = "f" + std::to_string(i * 37);
+    EXPECT_EQ(a.shard_of_name(net::kRootDir, name),
+              b.shard_of_name(net::kRootDir, name));
+  }
+  EXPECT_EQ(a.shard_of_dir(42), b.shard_of_dir(42));
+}
+
+TEST(ShardMap, IdTagRoundTrips) {
+  for (std::uint32_t s : {0u, 1u, 3u, 7u, 200u}) {
+    const std::uint64_t id = ShardMap::id_tag(s) | 12345u;
+    EXPECT_EQ(net::shard_of_id(id), s);
+  }
+  // kInvalidFile's tag (0xFF) stays outside the valid shard range.
+  EXPECT_EQ(net::shard_of_id(net::kInvalidFile), net::kMaxShards);
+}
+
+TEST(ShardMap, ShardOfFileReadsTheTag) {
+  ShardMap m(4);
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(m.shard_of_file(ShardMap::id_tag(s) | 99), s);
+  }
+}
+
+TEST(ShardMap, OneDirectoryStripesAcrossAllShards) {
+  // The simulated workloads hammer a single directory; its entries must
+  // not serialise on the home shard.
+  const std::uint32_t n = 4;
+  ShardMap m(n);
+  std::vector<int> hits(n, 0);
+  const int names = 400;
+  for (int i = 0; i < names; ++i) {
+    const auto s = m.shard_of_name(net::kRootDir, "wf" + std::to_string(i));
+    ASSERT_LT(s, n);
+    ++hits[s];
+  }
+  for (std::uint32_t s = 0; s < n; ++s) {
+    // Loose bound: an even split is 100 each; demand at least a quarter
+    // of that so only a grossly skewed hash fails.
+    EXPECT_GT(hits[s], names / int(n) / 4)
+        << "shard " << s << " starved: " << hits[s] << "/" << names;
+  }
+}
+
+TEST(ShardMap, DifferentDirectoriesGetDifferentHomes) {
+  // Not a hard guarantee per pair, but over many dirs all shards appear.
+  const std::uint32_t n = 4;
+  ShardMap m(n);
+  std::vector<int> hits(n, 0);
+  for (std::uint64_t d = 1; d <= 64; ++d) ++hits[m.shard_of_dir(d)];
+  for (std::uint32_t s = 0; s < n; ++s) EXPECT_GT(hits[s], 0);
+}
+
+}  // namespace
+}  // namespace redbud::core
