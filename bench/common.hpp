@@ -8,10 +8,16 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <iostream>
+#include <string>
 
 #include "core/metrics.hpp"
 #include "core/testbed.hpp"
+#include "obs/export.hpp"
+#include "sim/stats.hpp"
+#include "storage/blktrace.hpp"
 #include "workload/filebench.hpp"
 #include "workload/npb_bt.hpp"
 #include "workload/workload.hpp"
@@ -19,9 +25,62 @@
 
 namespace redbud::bench {
 
+// Write a series CSV and warn (instead of silently dropping figure data)
+// when the open or write fails; returns success for callers that care.
+inline bool write_series_csv(const redbud::sim::TimeSeries& series,
+                             const std::string& path) {
+  if (!series.write_csv(path)) {
+    std::cerr << "warning: failed to write series '" << series.name()
+              << "' to " << path << "\n";
+    return false;
+  }
+  return true;
+}
+
+// Same contract for the blktrace recorder used by Figure 5.
+inline bool write_trace_csv(const redbud::storage::BlkTrace& trace,
+                            const std::string& path) {
+  if (!trace.write_csv(path)) {
+    std::cerr << "warning: failed to write blktrace CSV to " << path << "\n";
+    return false;
+  }
+  return true;
+}
+
+// Observability defaults for the benches: tracing is off unless the
+// REDBUD_TRACE environment variable is set non-zero, so untraced figure
+// runs stay byte-identical to the pre-observability binaries.
+inline obs::ObsParams obs_from_env() {
+  obs::ObsParams o;
+  const char* env = std::getenv("REDBUD_TRACE");
+  o.tracing.enabled = env != nullptr && env[0] != '\0' && env[0] != '0';
+  return o;
+}
+
+// Emit the run's observability artifacts into bench_out/: always a
+// `<name>.metrics.json` registry snapshot, plus a `<name>.trace.json`
+// Perfetto trace when the run was traced.
+inline void write_obs_artifacts(core::Cluster& cluster, std::string name) {
+  for (char& c : name) {
+    if (c == '/' || c == ' ') c = '_';
+  }
+  std::filesystem::create_directories("bench_out");
+  const std::string metrics = "bench_out/" + name + ".metrics.json";
+  if (!obs::write_metrics_json(cluster.obs(), cluster.sim().now(), metrics)) {
+    std::cerr << "warning: failed to write " << metrics << "\n";
+  }
+  if (cluster.obs().tracer.enabled()) {
+    const std::string trace = "bench_out/" + name + ".trace.json";
+    if (!obs::write_perfetto_json(cluster.obs().tracer, trace)) {
+      std::cerr << "warning: failed to write " << trace << "\n";
+    }
+  }
+}
+
 inline core::TestbedParams paper_testbed(core::Protocol proto) {
   core::TestbedParams p;
   p.protocol = proto;
+  p.redbud.obs = obs_from_env();
   p.nclients = 7;  // eight-node cluster: one MDS + seven clients
   p.redbud.array.ndisks = 4;
   // Scaled-down client cache: the xcdn namespace must dwarf it, as the

@@ -89,6 +89,11 @@ int main() {
                    // job compares aggregate bandwidth (inverse makespan).
                    row.value[pi] = w->fixed_work() ? r.mb_per_sec : r.ops_per_sec;
                    row.verify[pi] = r.verify_failures + r.op_errors;
+                   if (auto* c = bed.cluster()) {
+                     bench::write_obs_artifacts(
+                         *c, "fig3_" + name + "_" +
+                                 core::protocol_name(kProtocols[pi]));
+                   }
                    return bed.sim().events_processed();
                  });
     }

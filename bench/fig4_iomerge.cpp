@@ -65,6 +65,9 @@ int main() {
                    };
                    auto r = run_workload(bed, w, opt);
                    *out = cluster->array().write_merge_ratio();
+                   bench::write_obs_artifacts(
+                       *cluster, "fig4_" + std::to_string(kb) + "KB_" +
+                                     std::string(kConfigs[ci].name));
                    std::fprintf(stderr,
                                 "  done: %uKB %-17s merge=%.3f (ops/s %.0f)\n",
                                 kb, kConfigs[ci].name, *out, r.ops_per_sec);

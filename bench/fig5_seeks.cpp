@@ -60,6 +60,8 @@ int main() {
         }
       };
       (void)run_workload(bed, w, opt);
+      bench::write_obs_artifacts(*cluster, "fig5_" + std::string(cfg.slug) +
+                                               "_" + std::to_string(kb) + "KB");
 
       std::uint64_t dispatches = 0;
       std::uint64_t seeks = 0;
@@ -72,7 +74,7 @@ int main() {
         const std::string path = "bench_out/fig5/" + std::string(cfg.slug) +
                                  "_" + std::to_string(kb) + "KB_disk" +
                                  std::to_string(d) + ".csv";
-        tr.write_csv(path);
+        bench::write_trace_csv(tr, path);
       }
       const double frac =
           dispatches == 0 ? 0.0 : double(seeks) / double(dispatches);

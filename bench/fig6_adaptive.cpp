@@ -53,10 +53,12 @@ int main() {
     opt.duration = redbud::sim::SimTime::seconds(12);
     (void)run_workload(bed, *w, opt);
 
+    bench::write_obs_artifacts(*bed.cluster(), "fig6_" + name);
+
     const auto& ts = pool.thread_series();
     const auto& qs = pool.queue_series();
-    ts.write_csv("bench_out/fig6/" + name + "_threads.csv");
-    qs.write_csv("bench_out/fig6/" + name + "_queue.csv");
+    bench::write_series_csv(ts, "bench_out/fig6/" + name + "_threads.csv");
+    bench::write_series_csv(qs, "bench_out/fig6/" + name + "_queue.csv");
 
     table.add_row(
         {name, core::Table::fmt(ts.max_value(), 0),

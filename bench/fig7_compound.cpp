@@ -42,6 +42,9 @@ int main() {
       XcdnWorkload w(xp);
       auto opt = bench::paper_run();
       auto r = run_workload(bed, w, opt);
+      bench::write_obs_artifacts(*bed.cluster(),
+                                 "fig7_d" + std::to_string(nd) + "_c" +
+                                     std::to_string(degree));
       const double per_client = r.mb_per_sec / double(bed.nclients());
       cells.push_back(core::Table::fmt(per_client, 2));
       std::fprintf(stderr, "  done: daemons=%u degree=%u -> %.2f MB/s/client\n",

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Validate a metrics.json artifact against schemas/metrics.schema.json.
+
+Stdlib-only: implements the small JSON-Schema subset the checked-in schema
+uses (type, enum, required, properties, additionalProperties, items,
+minimum, $ref into #/definitions). CI runs this against the traced
+mds_scaling run's bench_out/metrics.json.
+
+Usage: validate_metrics.py <schema.json> <metrics.json>
+"""
+import json
+import sys
+
+
+class ValidationError(Exception):
+    pass
+
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is an int subclass in Python; a JSON true is not an integer.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+}
+
+
+def resolve_ref(root, ref):
+    if not ref.startswith("#/"):
+        raise ValidationError(f"unsupported $ref: {ref}")
+    node = root
+    for part in ref[2:].split("/"):
+        node = node[part]
+    return node
+
+
+def validate(value, schema, root, path="$"):
+    if "$ref" in schema:
+        validate(value, resolve_ref(root, schema["$ref"]), root, path)
+        return
+
+    stype = schema.get("type")
+    if stype is not None:
+        check = TYPE_CHECKS.get(stype)
+        if check is None:
+            raise ValidationError(f"{path}: unsupported schema type {stype!r}")
+        if not check(value):
+            raise ValidationError(
+                f"{path}: expected {stype}, got {type(value).__name__}")
+
+    if "enum" in schema and value not in schema["enum"]:
+        raise ValidationError(f"{path}: {value!r} not in {schema['enum']}")
+
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        raise ValidationError(
+            f"{path}: {value} below minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        for req in schema.get("required", []):
+            if req not in value:
+                raise ValidationError(f"{path}: missing required key {req!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, sub in value.items():
+            if key in props:
+                validate(sub, props[key], root, f"{path}.{key}")
+            elif isinstance(extra, dict):
+                validate(sub, extra, root, f"{path}.{key}")
+            elif extra is False:
+                raise ValidationError(f"{path}: unexpected key {key!r}")
+
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], root, f"{path}[{i}]")
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        schema = json.load(f)
+    with open(argv[2]) as f:
+        doc = json.load(f)
+    try:
+        validate(doc, schema, schema)
+    except ValidationError as e:
+        print(f"INVALID {argv[2]}: {e}", file=sys.stderr)
+        return 1
+    n_stages = len(doc.get("stages", []))
+    n_metrics = len(doc.get("counters", {})) + len(doc.get("gauges", {})) \
+        + len(doc.get("histograms", {}))
+    print(f"OK {argv[2]}: {n_metrics} metrics, {n_stages} stage entries, "
+          f"{doc['spans']['recorded']} spans recorded")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

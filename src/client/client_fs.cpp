@@ -56,6 +56,29 @@ void ClientFs::start() {
   if (params_.mode == CommitMode::kDelayed) pool_daemons_.start();
 }
 
+void ClientFs::set_obs(obs::Obs* obs) {
+  obs_ = obs;
+  const std::uint32_t id = params_.client_id;
+  const std::uint32_t pid = obs::client_track(id);
+  op_track_ = obs::Track{pid, 1};
+  const std::string process = "client " + std::to_string(id);
+  obs->tracer.name_track({pid, 1}, process, "fs ops");
+  obs->tracer.name_track({pid, 2}, process, "commit queue");
+  obs->tracer.name_track({pid, 3}, process, "commit daemons");
+  obs->tracer.name_track({pid, 4}, process, "rpc");
+
+  const obs::Labels labels{{"client", std::to_string(id)}};
+  auto& reg = obs->registry;
+  reg.register_value("client_fs.writes", labels, &writes_);
+  reg.register_value("client_fs.reads", labels, &reads_);
+  reg.register_value("client_fs.bytes_written", labels, &bytes_written_);
+  reg.register_value("client_fs.bytes_read", labels, &bytes_read_);
+  cache_.register_metrics(reg, labels);
+  endpoint_.set_obs(obs, obs::Track{pid, 4}, labels);
+  queue_.set_obs(obs, id);
+  pool_daemons_.set_obs(obs, id);
+}
+
 // --- public API -----------------------------------------------------------------
 
 SimFuture<net::FileId> ClientFs::create(net::DirId dir, std::string name) {
@@ -130,22 +153,27 @@ std::uint64_t ClientFs::known_size(net::FileId file) const {
 
 Process ClientFs::create_proc(net::DirId dir, std::string name,
                               SimPromise<net::FileId> p) {
+  const obs::TraceContext octx = begin_op();
+  const auto op_start = sim_->now();
   co_await sim_->delay(params_.cpu_op);
   const std::uint32_t shard = smap_.shard_of_name(dir, name);
   net::RequestBody req = net::CreateReq{dir, std::move(name)};
-  auto fut = endpoint_.call(*mds_[shard], std::move(req));
+  auto fut = endpoint_.call(*mds_[shard], std::move(req), octx);
   auto resp = co_await fut;
   const auto& cr = std::get<net::CreateResp>(resp);
   if (cr.status == Status::kOk) files_[cr.file];  // fresh state
+  end_op(obs::Stage::kClientMeta, octx, op_start, cr.file);
   p.set_value(cr.status == Status::kOk ? cr.file : net::kInvalidFile);
 }
 
 Process ClientFs::open_proc(net::DirId dir, std::string name,
                             SimPromise<OpenResult> p) {
+  const obs::TraceContext octx = begin_op();
+  const auto op_start = sim_->now();
   co_await sim_->delay(params_.cpu_op);
   const std::uint32_t shard = smap_.shard_of_name(dir, name);
   net::RequestBody req = net::LookupReq{dir, std::move(name)};
-  auto fut = endpoint_.call(*mds_[shard], std::move(req));
+  auto fut = endpoint_.call(*mds_[shard], std::move(req), octx);
   auto resp = co_await fut;
   const auto& lr = std::get<net::LookupResp>(resp);
   OpenResult out;
@@ -156,6 +184,7 @@ Process ClientFs::open_proc(net::DirId dir, std::string name,
     auto& st = state(lr.file);
     st.size_bytes = std::max(st.size_bytes, lr.size_bytes);
   }
+  end_op(obs::Stage::kClientMeta, octx, op_start, lr.file);
   p.set_value(out);
 }
 
@@ -305,6 +334,8 @@ Process ClientFs::return_leftovers_proc(std::uint32_t shard) {
 
 Process ClientFs::write_proc(net::FileId file, std::uint64_t offset,
                              std::uint32_t nbytes, SimPromise<Status> p) {
+  const obs::TraceContext octx = begin_op();
+  const auto op_start = sim_->now();
   ++writes_;
   bytes_written_ += nbytes;
   const BlockRange range = block_range(offset, nbytes);
@@ -386,7 +417,7 @@ Process ClientFs::write_proc(net::FileId file, std::uint64_t offset,
       creq.entries.push_back(
           net::CommitEntry{file, extents, new_size, tokens});
       net::RequestBody req = std::move(creq);
-      auto fut = endpoint_.call(mds_of(file), std::move(req));
+      auto fut = endpoint_.call(mds_of(file), std::move(req), octx);
       (void)co_await fut;
       for (std::uint32_t i = 0; i < range.count; ++i) {
         cache_.mark_clean(file, range.first + i);
@@ -403,7 +434,7 @@ Process ClientFs::write_proc(net::FileId file, std::uint64_t offset,
       }
       // Hand order-keeping to the file system and return immediately.
       queue_.add(file, std::move(extents), std::move(tokens), new_size,
-                 std::move(data_futures));
+                 std::move(data_futures), octx);
       p.set_value(Status::kOk);
       break;
     }
@@ -414,16 +445,19 @@ Process ClientFs::write_proc(net::FileId file, std::uint64_t offset,
       creq.entries.push_back(
           net::CommitEntry{file, extents, new_size, tokens});
       net::RequestBody req = std::move(creq);
-      auto fut = endpoint_.call(mds_of(file), std::move(req));
+      auto fut = endpoint_.call(mds_of(file), std::move(req), octx);
       (void)co_await fut;
       p.set_value(Status::kOk);
       break;
     }
   }
+  end_op(obs::Stage::kClientWrite, octx, op_start, file);
 }
 
 Process ClientFs::read_proc(net::FileId file, std::uint64_t offset,
                             std::uint32_t nbytes, SimPromise<ReadResult> p) {
+  const obs::TraceContext octx = begin_op();
+  const auto op_start = sim_->now();
   ++reads_;
   bytes_read_ += nbytes;
   const BlockRange range = block_range(offset, nbytes);
@@ -443,6 +477,7 @@ Process ClientFs::read_proc(net::FileId file, std::uint64_t offset,
     }
   }
   if (all_hit) {
+    end_op(obs::Stage::kClientRead, octx, op_start, file);
     p.set_value(std::move(out));
     co_return;
   }
@@ -464,7 +499,7 @@ Process ClientFs::read_proc(net::FileId file, std::uint64_t offset,
     if (!covered) {
       net::RequestBody req =
           net::LayoutGetReq{file, range.first, range.count, false};
-      auto fut = endpoint_.call(mds_of(file), std::move(req));
+      auto fut = endpoint_.call(mds_of(file), std::move(req), octx);
       auto resp = co_await fut;
       const auto& lg = std::get<net::LayoutGetResp>(resp);
       if (lg.status != Status::kOk) {
@@ -523,21 +558,27 @@ Process ClientFs::read_proc(net::FileId file, std::uint64_t offset,
       cache_.put_clean(file, range.first + f.index + k, toks[k]);
     }
   }
+  end_op(obs::Stage::kClientRead, octx, op_start, file);
   p.set_value(std::move(out));
 }
 
 Process ClientFs::fsync_proc(net::FileId file, SimPromise<Status> p) {
+  const obs::TraceContext octx = begin_op();
+  const auto op_start = sim_->now();
   co_await sim_->delay(params_.cpu_op);
   if (params_.mode == CommitMode::kDelayed) {
     auto fut = queue_.wait_committed(file);
     co_await fut;
   }
   // Sync mode: every write already waited for durability + commit.
+  end_op(obs::Stage::kClientFsync, octx, op_start, file);
   p.set_value(Status::kOk);
 }
 
 Process ClientFs::remove_proc(net::DirId dir, std::string name,
                               SimPromise<Status> p) {
+  const obs::TraceContext octx = begin_op();
+  const auto op_start = sim_->now();
   co_await sim_->delay(params_.cpu_op);
   // The entry's shard serves both the lookup and the remove.
   const std::uint32_t shard = smap_.shard_of_name(dir, name);
@@ -552,8 +593,9 @@ Process ClientFs::remove_proc(net::DirId dir, std::string name,
     files_.erase(lr.file);
   }
   net::RequestBody req = net::RemoveReq{dir, std::move(name)};
-  auto fut = endpoint_.call(*mds_[shard], std::move(req));
+  auto fut = endpoint_.call(*mds_[shard], std::move(req), octx);
   auto resp = co_await fut;
+  end_op(obs::Stage::kClientMeta, octx, op_start);
   p.set_value(std::get<net::RemoveResp>(resp).status);
 }
 

@@ -38,6 +38,7 @@
 #include "core/shard_map.hpp"
 #include "fsapi/fs_client.hpp"
 #include "net/rpc.hpp"
+#include "obs/obs.hpp"
 #include "storage/disk_array.hpp"
 
 namespace redbud::client {
@@ -51,6 +52,9 @@ enum class CommitMode : std::uint8_t {
 struct ClientFsParams {
   CommitMode mode = CommitMode::kDelayed;
   bool delegation = true;
+  // Identity used for metric labels and Perfetto track grouping; the
+  // Cluster numbers its clients 0..nclients-1.
+  std::uint32_t client_id = 0;
   std::uint64_t chunk_blocks = (16ull << 20) / storage::kBlockSize;  // 16 MiB
   CommitPoolParams pool;
   CompoundParams compound;
@@ -77,6 +81,13 @@ class ClientFs final : public fsapi::FsClient {
 
   // Spawn background machinery (commit daemons in delayed mode). Once.
   void start();
+
+  // Attach the cluster's observability bundle: names this client's
+  // Perfetto tracks, registers client/cache/queue/pool/RPC instruments
+  // under {client=params.client_id} and arms op-span minting at every
+  // entry point. Call before start(); without it the client runs fully
+  // untracked (the pre-observability behaviour).
+  void set_obs(obs::Obs* obs);
 
   // --- file operations (all awaitable futures) ------------------------------
   [[nodiscard]] redbud::sim::SimFuture<net::FileId> create(
@@ -163,6 +174,17 @@ class ClientFs final : public fsapi::FsClient {
                                       redbud::sim::SimPromise<net::Status> p);
 
   void cache_layout(FileState& st, const std::vector<net::Extent>& extents);
+  // Mint the root context of one traced client op (inert when untracked).
+  [[nodiscard]] obs::TraceContext begin_op() {
+    return obs_ != nullptr ? obs_->tracer.mint() : obs::TraceContext{};
+  }
+  // Record the op span begun by begin_op() (no-op for inert contexts).
+  void end_op(obs::Stage stage, obs::TraceContext ctx,
+              redbud::sim::SimTime start, std::uint64_t arg0 = 0) {
+    if (obs_ != nullptr && ctx.active()) {
+      obs_->tracer.record(stage, ctx, 0, op_track_, start, sim_->now(), arg0);
+    }
+  }
   [[nodiscard]] FileState& state(net::FileId file) { return files_[file]; }
   // Endpoint of the shard owning `file`.
   [[nodiscard]] net::RpcEndpoint& mds_of(net::FileId file) {
@@ -191,6 +213,8 @@ class ClientFs final : public fsapi::FsClient {
   // toward params_.chunk_blocks on success.
   std::vector<std::uint64_t> chunk_target_;  // per shard
   bool started_ = false;
+  obs::Obs* obs_ = nullptr;
+  obs::Track op_track_;  // client track group, fs-op row
   std::unordered_map<net::FileId, FileState> files_;
   std::uint64_t writes_ = 0;
   std::uint64_t reads_ = 0;

@@ -24,6 +24,15 @@ CommitDaemonPool::CommitDaemonPool(redbud::sim::Simulation& sim,
   assert(!mds_.empty());
 }
 
+void CommitDaemonPool::set_obs(obs::Obs* obs, std::uint32_t client_id) {
+  obs_ = obs;
+  track_ = obs::Track{obs::client_track(client_id), 3};
+  const obs::Labels labels{{"client", std::to_string(client_id)}};
+  obs->registry.register_value("commit_pool.rpcs_sent", labels, &rpcs_sent_);
+  obs->registry.register_value("commit_pool.entries_committed", labels,
+                               &entries_committed_);
+}
+
 void CommitDaemonPool::start() {
   assert(!started_);
   started_ = true;
@@ -86,6 +95,7 @@ Process CommitDaemonPool::daemon() {
       continue;
     }
     const std::uint32_t shard = batch.front().shard;
+    const SimTime checkout_at = sim_->now();
 
     net::CommitReq req;
     req.entries.reserve(batch.size());
@@ -98,8 +108,21 @@ Process CommitDaemonPool::daemon() {
       req.entries.push_back(std::move(e));
     }
 
+    // The batch's chain gets its own trace; per-update commit-e2e spans
+    // link to it via the checkout-batch span id (ack's batch_span).
+    obs::TraceContext bctx;
+    if (obs_ != nullptr && obs_->tracer.enabled()) {
+      bool traced = false;
+      for (const auto& task : batch) traced = traced || !task.traces.empty();
+      if (traced) bctx = obs_->tracer.mint();
+    }
+
     const SimTime sent_at = sim_->now();
-    auto fut = self_->call(*mds_[shard], std::move(req));
+    if (bctx.active()) {
+      obs_->tracer.record(obs::Stage::kCheckoutBatch, bctx, 0, track_,
+                          checkout_at, sent_at, batch.size(), shard);
+    }
+    auto fut = self_->call(*mds_[shard], std::move(req), bctx);
     auto resp = co_await fut;
     const auto& cr = std::get<net::CommitResp>(resp);
     ++rpcs_sent_;
@@ -112,7 +135,7 @@ Process CommitDaemonPool::daemon() {
           cache_->mark_clean(task.file, e.file_block + b);
         }
       }
-      queue_->ack(task);
+      queue_->ack(task, bctx.span);
     }
   }
   --live_threads_;

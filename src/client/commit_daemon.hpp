@@ -47,6 +47,10 @@ class CommitDaemonPool {
   // Spawn the controller and the initial daemon. Call once.
   void start();
 
+  // Attach the cluster's observability bundle; checkout-batch spans land
+  // on the client's daemon row, counters register under {client=id}.
+  void set_obs(obs::Obs* obs, std::uint32_t client_id);
+
   [[nodiscard]] std::uint32_t live_threads() const { return live_threads_; }
   [[nodiscard]] std::uint64_t rpcs_sent() const { return rpcs_sent_; }
   [[nodiscard]] std::uint64_t entries_committed() const {
@@ -88,6 +92,8 @@ class CommitDaemonPool {
   redbud::sim::TimeSeries thread_series_{"commit_threads"};
   redbud::sim::TimeSeries queue_series_{"commit_queue_len"};
   bool tracing_ = false;
+  obs::Obs* obs_ = nullptr;
+  obs::Track track_;  // client track group, commit-daemon row
 };
 
 }  // namespace redbud::client

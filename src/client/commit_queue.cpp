@@ -12,10 +12,22 @@ using redbud::sim::SimPromise;
 CommitQueue::CommitQueue(redbud::sim::Simulation& sim)
     : sim_(&sim), work_(sim), space_(sim) {}
 
+void CommitQueue::set_obs(obs::Obs* obs, std::uint32_t client_id) {
+  obs_ = obs;
+  track_ = obs::Track{obs::client_track(client_id), 2};
+  const obs::Labels labels{{"client", std::to_string(client_id)}};
+  obs->registry.register_value("commit_queue.enqueued", labels, &enqueued_);
+  obs->registry.register_value("commit_queue.merged", labels, &merged_);
+  obs->registry.register_value("commit_queue.committed", labels, &committed_);
+  obs->registry.register_histogram("commit_queue.latency", labels,
+                                   &commit_latency_);
+}
+
 void CommitQueue::add(net::FileId file, std::vector<net::Extent> extents,
                       std::vector<storage::ContentToken> block_tokens,
                       std::uint64_t new_size_bytes,
-                      std::vector<SimFuture<Done>> data_futures) {
+                      std::vector<SimFuture<Done>> data_futures,
+                      obs::TraceContext ctx) {
   ++enqueued_;
   auto it = queued_.find(file);
   if (it == queued_.end()) {
@@ -27,6 +39,7 @@ void CommitQueue::add(net::FileId file, std::vector<net::Extent> extents,
     task.new_size_bytes = new_size_bytes;
     task.enqueued_at = sim_->now();
     task.data_futures = std::move(data_futures);
+    if (ctx.active()) task.traces.push_back({ctx, sim_->now()});
     queued_.emplace(file, std::move(task));
     order_.push_back(file);
   } else {
@@ -38,6 +51,9 @@ void CommitQueue::add(net::FileId file, std::vector<net::Extent> extents,
                              block_tokens.end());
     task.new_size_bytes = std::max(task.new_size_bytes, new_size_bytes);
     for (auto& f : data_futures) task.data_futures.push_back(std::move(f));
+    // The merged update keeps its own context: its chain shares the
+    // task's checkout/RPC spans but retains per-update queue-wait/e2e.
+    if (ctx.active()) task.traces.push_back({ctx, sim_->now()});
   }
   work_.notify_all();
 }
@@ -92,6 +108,15 @@ std::vector<CommitTask> CommitQueue::checkout(std::size_t max) {
     if (qit->second.data_complete() &&
         (out.empty() || qit->second.shard == batch_shard)) {
       if (out.empty()) batch_shard = qit->second.shard;
+      // Queue-wait stage ends here for every update riding this task.
+      if (obs_ != nullptr) {
+        for (const obs::TraceLink& link : qit->second.traces) {
+          obs_->tracer.record(obs::Stage::kQueueWait,
+                              obs_->tracer.child(link.ctx), link.ctx.span,
+                              track_, link.enqueued_at, sim_->now(),
+                              qit->second.file);
+        }
+      }
       out.push_back(std::move(qit->second));
       queued_.erase(qit);
       it = order_.erase(it);
@@ -116,9 +141,19 @@ std::optional<std::uint32_t> CommitQueue::first_ready_shard() const {
   return std::nullopt;
 }
 
-void CommitQueue::ack(CommitTask& task) {
+void CommitQueue::ack(CommitTask& task, std::uint64_t batch_span) {
   ++committed_;
   commit_latency_.record(sim_->now() - task.enqueued_at);
+  // Commit end-to-end: enqueue -> RPC acknowledged, one span per traced
+  // update. arg1 links to the checkout-batch span whose compound RPC
+  // carried this task, bridging the per-update and per-batch chains.
+  if (obs_ != nullptr) {
+    for (const obs::TraceLink& link : task.traces) {
+      obs_->tracer.record(obs::Stage::kCommitE2e, obs_->tracer.child(link.ctx),
+                          link.ctx.span, track_, link.enqueued_at, sim_->now(),
+                          task.file, batch_span);
+    }
+  }
   for (auto& w : task.waiters) w.set_value(Done{});
   task.waiters.clear();
 
@@ -156,6 +191,7 @@ void CommitQueue::requeue(CommitTask task) {
                           task.block_tokens.end());
     q.new_size_bytes = std::max(q.new_size_bytes, task.new_size_bytes);
     for (auto& w : task.waiters) q.waiters.push_back(std::move(w));
+    for (auto& t : task.traces) q.traces.push_back(t);
   }
   work_.notify_all();
 }

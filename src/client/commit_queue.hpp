@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "net/protocol.hpp"
+#include "obs/obs.hpp"
 #include "sim/future.hpp"
 #include "sim/stats.hpp"
 #include "sim/sync.hpp"
@@ -40,6 +41,9 @@ struct CommitTask {
   std::vector<redbud::sim::SimFuture<redbud::sim::Done>> data_futures;
   // fsync/close waiters resolved when the commit RPC is acknowledged.
   std::vector<redbud::sim::SimPromise<redbud::sim::Done>> waiters;
+  // One link per traced update riding this task: dedup-merged updates each
+  // keep their own context, so every originating op's chain stays whole.
+  std::vector<obs::TraceLink> traces;
 
   [[nodiscard]] bool data_complete() const {
     for (const auto& f : data_futures) {
@@ -57,10 +61,16 @@ class CommitQueue {
   CommitQueue& operator=(const CommitQueue&) = delete;
 
   // Merge an update into the file's queued commit (or enqueue a new one).
+  // An active `ctx` attaches the update's trace to the task.
   void add(net::FileId file, std::vector<net::Extent> extents,
            std::vector<storage::ContentToken> block_tokens,
            std::uint64_t new_size_bytes,
-           std::vector<redbud::sim::SimFuture<redbud::sim::Done>> data_futures);
+           std::vector<redbud::sim::SimFuture<redbud::sim::Done>> data_futures,
+           obs::TraceContext ctx = {});
+
+  // Attach the cluster's observability bundle; spans land on the client's
+  // track group. Also registers this queue's counters under {client=id}.
+  void set_obs(obs::Obs* obs, std::uint32_t client_id);
 
   // Future resolving when everything currently pending for `file` (queued
   // or in flight) has been committed; immediately ready when nothing is.
@@ -82,7 +92,9 @@ class CommitQueue {
   // compound degree before committing to the checkout.
   [[nodiscard]] std::optional<std::uint32_t> first_ready_shard() const;
   // Acknowledge an in-flight task: resolves waiters, updates stats.
-  void ack(CommitTask& task);
+  // `batch_span` is the checkout-batch span the task's commit RPC rode —
+  // recorded on each commit-e2e span so chains cross the batch boundary.
+  void ack(CommitTask& task, std::uint64_t batch_span = 0);
   // Re-queue an in-flight task after a failed RPC.
   void requeue(CommitTask task);
 
@@ -120,6 +132,8 @@ class CommitQueue {
   std::uint64_t merged_ = 0;
   std::uint64_t committed_ = 0;
   redbud::sim::LatencyHistogram commit_latency_;
+  obs::Obs* obs_ = nullptr;
+  obs::Track track_;  // client track group, commit-queue row
 };
 
 }  // namespace redbud::client

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "net/protocol.hpp"
+#include "obs/metrics_registry.hpp"
 #include "storage/types.hpp"
 
 namespace redbud::client {
@@ -51,6 +52,14 @@ class PageCache {
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
   [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+  // Register this cache's counters with the central registry.
+  void register_metrics(obs::MetricsRegistry& reg,
+                        const obs::Labels& labels) const {
+    reg.register_value("page_cache.hits", labels, &hits_);
+    reg.register_value("page_cache.misses", labels, &misses_);
+    reg.register_value("page_cache.evictions", labels, &evictions_);
+  }
 
  private:
   struct Key {

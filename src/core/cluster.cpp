@@ -5,7 +5,9 @@
 namespace redbud::core {
 
 Cluster::Cluster(ClusterParams params)
-    : params_(std::move(params)), shard_map_(params_.nshards) {
+    : params_(std::move(params)),
+      shard_map_(params_.nshards),
+      obs_(params_.obs) {
   network_ = std::make_unique<net::Network>(sim_, params_.network);
   array_ = std::make_unique<storage::DiskArray>(sim_, params_.array);
 
@@ -56,6 +58,19 @@ Cluster::Cluster(ClusterParams params)
     mds_params.shard = s;
     sh->mds = std::make_unique<mds::MdsServer>(sim_, *sh->endpoint, *sh->space,
                                                *sh->journal, mds_params);
+
+    // Observability: name the shard's track rows and register every
+    // shard-side instrument under {shard=s}.
+    const std::string sname = "mds shard " + std::to_string(s);
+    obs_.tracer.name_track({obs::shard_track(s), 1}, sname, "mds daemons");
+    obs_.tracer.name_track({obs::shard_track(s), 2}, sname, "journal");
+    const obs::Labels slabels{{"shard", std::to_string(s)}};
+    sh->endpoint->set_obs(&obs_, obs::Track{obs::shard_track(s), 1}, slabels);
+    sh->mds->set_obs(&obs_);
+    sh->journal->set_obs(&obs_, s);
+    sh->space->register_metrics(obs_.registry, slabels);
+    sh->meta_sched->register_metrics(
+        obs_.registry, {{"shard", std::to_string(s)}, {"device", "metadata"}});
     shards_.push_back(std::move(sh));
   }
 
@@ -64,8 +79,11 @@ Cluster::Cluster(ClusterParams params)
   for (auto& sh : shards_) endpoints.push_back(sh->endpoint.get());
 
   for (std::uint32_t i = 0; i < params_.nclients; ++i) {
+    auto client_params = params_.client;
+    client_params.client_id = i;
     clients_.push_back(std::make_unique<client::ClientFs>(
-        sim_, *network_, shard_map_, endpoints, *array_, params_.client));
+        sim_, *network_, shard_map_, endpoints, *array_, client_params));
+    clients_.back()->set_obs(&obs_);
   }
 }
 

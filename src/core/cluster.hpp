@@ -26,6 +26,7 @@
 #include "mds/mds_server.hpp"
 #include "net/network.hpp"
 #include "net/rpc.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulation.hpp"
 #include "storage/disk_array.hpp"
 
@@ -56,6 +57,7 @@ struct ClusterParams {
   mds::JournalParams journal;
   mds::MdsParams mds;
   client::ClientFsParams client;
+  obs::ObsParams obs;
 };
 
 class Cluster {
@@ -76,6 +78,10 @@ class Cluster {
   [[nodiscard]] storage::DiskArray& array() { return *array_; }
   [[nodiscard]] net::Network& network() { return *network_; }
   [[nodiscard]] const ClusterParams& params() const { return params_; }
+  // The cluster-wide observability bundle: every component registered its
+  // instruments here at construction; the tracer holds the span log.
+  [[nodiscard]] obs::Obs& obs() { return obs_; }
+  [[nodiscard]] const obs::Obs& obs() const { return obs_; }
 
   // --- sharded metadata service ---------------------------------------------
   [[nodiscard]] std::uint32_t nshards() const {
@@ -119,6 +125,9 @@ class Cluster {
 
   ClusterParams params_;
   ShardMap shard_map_;
+  // Declared before every component (destroyed after them): components
+  // hold non-owning registry views and tracer pointers.
+  obs::Obs obs_;
   redbud::sim::Simulation sim_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<storage::DiskArray> array_;

@@ -26,14 +26,24 @@ void Journal::start() {
   sim_->spawn(flusher());
 }
 
-SimFuture<Done> Journal::append(std::size_t bytes) {
+void Journal::set_obs(obs::Obs* obs, std::uint32_t shard) {
+  obs_ = obs;
+  track_ = obs::Track{obs::shard_track(shard), 2};
+  const obs::Labels labels{{"shard", std::to_string(shard)}};
+  obs->registry.register_value("journal.records", labels, &records_);
+  obs->registry.register_value("journal.flushes", labels, &flushes_);
+  obs->registry.register_value("journal.bytes_flushed", labels,
+                               &bytes_flushed_);
+}
+
+SimFuture<Done> Journal::append(std::size_t bytes, obs::TraceContext ctx) {
   assert(started_ && "Journal::start() not called");
   assert(bytes > 0);
   ++records_;
   pending_bytes_ += bytes;
   SimPromise<Done> p(*sim_);
   auto fut = p.future();
-  pending_.push_back(std::move(p));
+  pending_.push_back(PendingAppend{std::move(p), ctx, sim_->now()});
   work_.notify_all();
   return fut;
 }
@@ -63,7 +73,16 @@ Process Journal::flusher() {
 
     ++flushes_;
     bytes_flushed_ += std::size_t(nblocks) * kBlockSize;
-    for (auto& p : batch) p.set_value(Done{});
+    for (auto& rec : batch) {
+      if (obs_ != nullptr && rec.ctx.active()) {
+        // One span per record: each shows its own append -> durable wait,
+        // all ending at this flush (the group-commit ride-along).
+        obs_->tracer.record(obs::Stage::kJournalFsync,
+                            obs_->tracer.child(rec.ctx), rec.ctx.span, track_,
+                            rec.appended_at, sim_->now(), bytes);
+      }
+      rec.promise.set_value(Done{});
+    }
   }
 }
 

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sim/future.hpp"
 #include "sim/simulation.hpp"
 #include "sim/sync.hpp"
@@ -33,9 +34,14 @@ class Journal {
   void start();
 
   // Append a record of `bytes`; the future resolves when the record is on
-  // stable storage.
+  // stable storage. An active `ctx` records a journal-fsync span (append
+  // -> covering group-commit flush durable) parented under the caller.
   [[nodiscard]] redbud::sim::SimFuture<redbud::sim::Done> append(
-      std::size_t bytes);
+      std::size_t bytes, obs::TraceContext ctx = {});
+
+  // Attach the cluster's observability bundle; spans land on shard
+  // `shard`'s journal row, counters register under {shard=shard}.
+  void set_obs(obs::Obs* obs, std::uint32_t shard);
 
   [[nodiscard]] std::uint64_t records_appended() const { return records_; }
   [[nodiscard]] std::uint64_t flushes() const { return flushes_; }
@@ -51,14 +57,22 @@ class Journal {
   redbud::sim::Simulation* sim_;
   storage::IoScheduler* device_;
   JournalParams params_;
+  struct PendingAppend {
+    redbud::sim::SimPromise<redbud::sim::Done> promise;
+    obs::TraceContext ctx;            // inert for untraced appends
+    redbud::sim::SimTime appended_at; // start of the journal-fsync span
+  };
+
   redbud::sim::Signal work_;
   std::size_t pending_bytes_ = 0;
-  std::vector<redbud::sim::SimPromise<redbud::sim::Done>> pending_;
+  std::vector<PendingAppend> pending_;
   storage::BlockNo head_ = 0;  // next journal block, relative to region
   bool started_ = false;
   std::uint64_t records_ = 0;
   std::uint64_t flushes_ = 0;
   std::uint64_t bytes_flushed_ = 0;
+  obs::Obs* obs_ = nullptr;
+  obs::Track track_;  // shard track group, journal row
 };
 
 }  // namespace redbud::mds

@@ -23,6 +23,16 @@ MdsServer::MdsServer(redbud::sim::Simulation& sim, net::RpcEndpoint& endpoint,
   assert(params_.shard < net::kMaxShards);
 }
 
+void MdsServer::set_obs(obs::Obs* obs) {
+  obs_ = obs;
+  track_ = obs::Track{obs::shard_track(params_.shard), 1};
+  const obs::Labels labels{{"shard", std::to_string(params_.shard)}};
+  obs->registry.register_value("mds.ops", labels, &ops_);
+  obs->registry.register_value("mds.rpcs", labels, &rpcs_);
+  obs->registry.register_value("mds.commit_entries", labels, &commit_entries_);
+  obs->registry.register_gauge("mds.queue_len", labels, &queue_gauge_);
+}
+
 void MdsServer::start() {
   assert(!started_);
   started_ = true;
@@ -72,6 +82,11 @@ Process MdsServer::daemon() {
     queue_gauge_.set(sim_->now(), double(endpoint_->incoming_depth()));
     net::IncomingRpc rpc = co_await endpoint_->incoming().recv();
     ++rpcs_;
+    const SimTime recv_at = sim_->now();
+    // Server-side span: dequeue -> reply issued, a child of the wire span
+    // the request arrived under. Journal appends parent under it in turn.
+    obs::TraceContext mctx;
+    if (obs_ != nullptr && rpc.ctx.active()) mctx = obs_->tracer.child(rpc.ctx);
 
     // CPU: daemons beyond the core count time-share; extra daemons add a
     // small context-switch inflation.
@@ -105,7 +120,7 @@ Process MdsServer::daemon() {
         bytes = params_.journal_record_bytes * std::max<std::size_t>(
                                                    1, c->entries.size());
       }
-      co_await journal_->append(bytes);
+      co_await journal_->append(bytes, mctx);
       // Journal flushed: the staged mutations are now durable; record
       // them for the recovery checker.
       for (auto& rec : pending.commits) {
@@ -119,6 +134,10 @@ Process MdsServer::daemon() {
     if (auto* cr = std::get_if<net::CommitResp>(&resp)) {
       cr->mds_queue_len =
           static_cast<std::uint32_t>(endpoint_->incoming_depth());
+    }
+    if (mctx.active()) {
+      obs_->tracer.record(obs::Stage::kMdsHandle, mctx, rpc.ctx.span, track_,
+                          recv_at, sim_->now(), ops_);
     }
     endpoint_->reply(rpc, std::move(resp));
   }

@@ -88,6 +88,10 @@ class MdsServer {
   // Spawn the daemon pool. Call once.
   void start();
 
+  // Attach the cluster's observability bundle; mds-handle spans land on
+  // this shard's daemon row, counters register under {shard=...}.
+  void set_obs(obs::Obs* obs);
+
   [[nodiscard]] Namespace& ns() { return ns_; }
   [[nodiscard]] const Namespace& ns() const { return ns_; }
   [[nodiscard]] SpaceManager& space() { return *space_; }
@@ -179,6 +183,8 @@ class MdsServer {
   std::uint64_t rpcs_ = 0;
   std::uint64_t commit_entries_ = 0;
   redbud::sim::Gauge queue_gauge_;
+  obs::Obs* obs_ = nullptr;
+  obs::Track track_;  // shard track group, daemon row
 };
 
 }  // namespace redbud::mds

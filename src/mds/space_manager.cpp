@@ -85,6 +85,8 @@ std::vector<PhysExtent> SpaceManager::alloc(std::uint64_t nblocks) {
     for (const auto& e : out) free(e);
     return {};
   }
+  ++allocs_;
+  blocks_allocated_ += nblocks;
   return out;
 }
 
@@ -96,6 +98,8 @@ std::optional<PhysExtent> SpaceManager::alloc_contiguous(
     if (ags_[i].largest_free() >= nblocks) {
       auto got = ags_[i].alloc(nblocks, params_.within_ag);
       assert(got);
+      ++allocs_;
+      blocks_allocated_ += got->nblocks;
       return PhysExtent{{ags_[i].device(), got->offset}, got->nblocks};
     }
   }
@@ -117,6 +121,7 @@ void SpaceManager::free(const PhysExtent& extent) {
   AllocGroup* ag = ag_containing(extent.addr, extent.nblocks);
   assert(ag && "freeing an extent that crosses AG boundaries or is foreign");
   ag->free(extent.addr.block, extent.nblocks);
+  ++frees_;
 }
 
 std::uint64_t SpaceManager::free_blocks() const {

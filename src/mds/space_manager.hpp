@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "mds/alloc_group.hpp"
+#include "obs/metrics_registry.hpp"
 #include "sim/random.hpp"
 #include "storage/types.hpp"
 
@@ -86,6 +87,20 @@ class SpaceManager {
   [[nodiscard]] const AllocGroup& ag(std::size_t i) const { return ags_[i]; }
   [[nodiscard]] bool validate() const;
 
+  [[nodiscard]] std::uint64_t allocs() const { return allocs_; }
+  [[nodiscard]] std::uint64_t frees() const { return frees_; }
+  [[nodiscard]] std::uint64_t blocks_allocated() const {
+    return blocks_allocated_;
+  }
+
+  // Register this manager's counters with the central registry.
+  void register_metrics(obs::MetricsRegistry& reg,
+                        const obs::Labels& labels) const {
+    reg.register_value("space.allocs", labels, &allocs_);
+    reg.register_value("space.frees", labels, &frees_);
+    reg.register_value("space.blocks_allocated", labels, &blocks_allocated_);
+  }
+
  private:
   [[nodiscard]] std::size_t pick_ag(std::uint64_t nblocks);
   // Advance the round-robin cursor and return the AG index it names
@@ -100,6 +115,9 @@ class SpaceManager {
   std::uint64_t total_blocks_ = 0;
   std::size_t rr_next_ = 0;
   redbud::sim::Rng rng_;
+  std::uint64_t allocs_ = 0;  // successful alloc()/alloc_contiguous() calls
+  std::uint64_t frees_ = 0;
+  std::uint64_t blocks_allocated_ = 0;
 };
 
 }  // namespace redbud::mds

@@ -92,14 +92,20 @@ RpcEndpoint::RpcEndpoint(redbud::sim::Simulation& sim, Network& net,
     : sim_(&sim), net_(&net), node_(node), incoming_(sim) {}
 
 SimFuture<ResponseBody> RpcEndpoint::call(RpcEndpoint& server,
-                                          RequestBody body) {
+                                          RequestBody body,
+                                          obs::TraceContext ctx) {
   const std::uint64_t xid = next_xid_++;
   const std::size_t bytes = kRpcHeaderBytes + wire_size(body);
 
   const char* op = op_name(body);
   SimPromise<ResponseBody> promise(*sim_);
   auto fut = promise.future();
-  pending_.emplace(xid, PendingCall{std::move(promise), sim_->now(), op});
+  // The wire span is minted here and carried to the server in the message
+  // header; it is recorded once the reply has fully arrived back.
+  obs::TraceContext rpc_ctx;
+  if (obs_ != nullptr && ctx.active()) rpc_ctx = obs_->tracer.child(ctx);
+  pending_.emplace(xid, PendingCall{std::move(promise), sim_->now(), op,
+                                    rpc_ctx, ctx.span});
   server.peers_[node_] = this;
 
   ++calls_sent_;
@@ -107,17 +113,18 @@ SimFuture<ResponseBody> RpcEndpoint::call(RpcEndpoint& server,
   auto& st = op_stats_[op];
   ++st.sent;
   st.bytes_sent += bytes;
-  sim_->spawn(deliver_request(&server, xid, std::move(body), bytes));
+  sim_->spawn(deliver_request(&server, xid, std::move(body), bytes, rpc_ctx));
   return fut;
 }
 
 Process RpcEndpoint::deliver_request(RpcEndpoint* server, std::uint64_t xid,
-                                     RequestBody body, std::size_t bytes) {
+                                     RequestBody body, std::size_t bytes,
+                                     obs::TraceContext ctx) {
   co_await net_->send(node_, server->node_, bytes);
   ++server->calls_received_;
   ++server->op_stats_[op_name(body)].received;
   const bool ok =
-      server->incoming_.try_send(IncomingRpc{xid, node_, std::move(body)});
+      server->incoming_.try_send(IncomingRpc{xid, node_, std::move(body), ctx});
   assert(ok);
   (void)ok;
 }
@@ -141,6 +148,11 @@ void RpcEndpoint::complete_call(std::uint64_t xid, ResponseBody body) {
   const SimTime rtt = sim_->now() - it->second.sent_at;
   rtt_.record(rtt);
   if (it->second.op != nullptr) op_stats_[it->second.op].rtt.record(rtt);
+  if (obs_ != nullptr && it->second.rpc_ctx.active()) {
+    obs_->tracer.record(obs::Stage::kRpcWire, it->second.rpc_ctx,
+                        it->second.parent, track_, it->second.sent_at,
+                        sim_->now());
+  }
   it->second.promise.set_value(std::move(body));
   pending_.erase(it);
 }

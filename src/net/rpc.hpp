@@ -13,6 +13,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
 #include "sim/channel.hpp"
 #include "sim/future.hpp"
 #include "sim/simulation.hpp"
@@ -29,6 +30,10 @@ struct IncomingRpc {
   std::uint64_t xid = 0;
   NodeId from = 0;
   RequestBody body;
+  // Trace context carried in the message header: a child span of the
+  // caller's context, which the server parents its own spans under.
+  // Tracing-only metadata — it does not contribute to wire_size().
+  obs::TraceContext ctx;
 };
 
 class RpcEndpoint {
@@ -40,9 +45,25 @@ class RpcEndpoint {
   [[nodiscard]] NodeId node() const { return node_; }
 
   // Client side: send a request to `server`; future resolves with the
-  // response body once the reply has fully arrived back.
+  // response body once the reply has fully arrived back. An active `ctx`
+  // makes the call traced: a child rpc-wire span is minted, carried to the
+  // server in the message header and recorded when the reply completes.
   [[nodiscard]] redbud::sim::SimFuture<ResponseBody> call(
-      RpcEndpoint& server, RequestBody body);
+      RpcEndpoint& server, RequestBody body, obs::TraceContext ctx = {});
+
+  // Attach the cluster's observability bundle; `track` is the Perfetto
+  // track rpc-wire spans of calls made from this endpoint land on, and
+  // `labels` identify this endpoint's registered counters.
+  void set_obs(obs::Obs* obs, obs::Track track, const obs::Labels& labels) {
+    obs_ = obs;
+    track_ = track;
+    obs->registry.register_value("rpc.calls_sent", labels, &calls_sent_);
+    obs->registry.register_value("rpc.calls_received", labels,
+                                 &calls_received_);
+    obs->registry.register_value("rpc.request_bytes_sent", labels,
+                                 &req_bytes_sent_);
+    obs->registry.register_histogram("rpc.rtt", labels, &rtt_);
+  }
 
   // Server side: the queue of requests awaiting processing.
   [[nodiscard]] redbud::sim::Channel<IncomingRpc>& incoming() {
@@ -86,10 +107,13 @@ class RpcEndpoint {
     redbud::sim::SimPromise<ResponseBody> promise;
     redbud::sim::SimTime sent_at;
     const char* op = nullptr;  // op_name() of the request, for op_stats_
+    obs::TraceContext rpc_ctx;   // the rpc-wire span (inert when untraced)
+    std::uint64_t parent = 0;    // caller's span, parent of the wire span
   };
 
   redbud::sim::Process deliver_request(RpcEndpoint* server, std::uint64_t xid,
-                                       RequestBody body, std::size_t bytes);
+                                       RequestBody body, std::size_t bytes,
+                                       obs::TraceContext ctx);
   redbud::sim::Process deliver_response(NodeId to, std::uint64_t xid,
                                         ResponseBody body, std::size_t bytes);
   void complete_call(std::uint64_t xid, ResponseBody body);
@@ -107,6 +131,8 @@ class RpcEndpoint {
   std::uint64_t req_bytes_sent_ = 0;
   redbud::sim::LatencyHistogram rtt_;
   std::map<std::string, OpStats> op_stats_;
+  obs::Obs* obs_ = nullptr;
+  obs::Track track_;
 };
 
 }  // namespace redbud::net

@@ -1,0 +1,258 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace redbud::obs {
+
+namespace {
+
+// Deterministic fixed-point microsecond rendering of a SimTime.
+std::string us_fixed(redbud::sim::SimTime t) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3f", t.to_micros());
+  return buf;
+}
+
+std::string fmt_double(double v, int precision = 3) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void append_histogram_json(std::string& out,
+                           const redbud::sim::LatencyHistogram& h) {
+  out += "{\"count\": " + std::to_string(h.count());
+  out += ", \"mean_us\": " + us_fixed(h.mean());
+  out += ", \"p50_us\": " + us_fixed(h.percentile(50));
+  out += ", \"p90_us\": " + us_fixed(h.percentile(90));
+  out += ", \"p99_us\": " + us_fixed(h.percentile(99));
+  out += ", \"min_us\": " +
+         us_fixed(h.count() ? h.min() : redbud::sim::SimTime::zero());
+  out += ", \"max_us\": " + us_fixed(h.max());
+  out += "}";
+}
+
+// Display name of a track group: the registered process name, or a
+// stable placeholder.
+std::string pid_name(const Tracer& tracer, std::uint32_t pid) {
+  for (const auto& [key, names] : tracer.track_names()) {
+    if (key.first == pid) return names.first;
+  }
+  return "track " + std::to_string(pid);
+}
+
+}  // namespace
+
+std::string perfetto_json(const Tracer& tracer) {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  const auto emit = [&](const std::string& ev) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  " + ev;
+  };
+
+  // Track metadata: one process_name per group, one thread_name per row.
+  std::uint32_t last_pid = ~0u;
+  for (const auto& [key, names] : tracer.track_names()) {
+    const auto [pid, tid] = key;
+    if (pid != last_pid) {
+      emit("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " +
+           std::to_string(pid) + ", \"tid\": 0, \"args\": {\"name\": \"" +
+           json_escape(names.first) + "\"}}");
+      last_pid = pid;
+    }
+    emit("{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " +
+         std::to_string(pid) + ", \"tid\": " + std::to_string(tid) +
+         ", \"args\": {\"name\": \"" + json_escape(names.second) + "\"}}");
+  }
+
+  for (const SpanRecord& s : tracer.spans()) {
+    std::string ev = "{\"name\": \"";
+    ev += stage_name(s.stage);
+    ev += "\", \"cat\": \"redbud\", \"ph\": \"X\", \"ts\": ";
+    ev += us_fixed(s.start);
+    ev += ", \"dur\": ";
+    ev += us_fixed(s.end - s.start);
+    ev += ", \"pid\": " + std::to_string(s.track.pid);
+    ev += ", \"tid\": " + std::to_string(s.track.tid);
+    ev += ", \"args\": {\"trace\": " + std::to_string(s.trace);
+    ev += ", \"span\": " + std::to_string(s.span);
+    ev += ", \"parent\": " + std::to_string(s.parent);
+    ev += ", \"arg0\": " + std::to_string(s.arg0);
+    ev += ", \"arg1\": " + std::to_string(s.arg1);
+    ev += "}}";
+    emit(ev);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_perfetto_json(const Tracer& tracer, const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << perfetto_json(tracer);
+  return bool(f);
+}
+
+std::string metrics_json(const Obs& obs, redbud::sim::SimTime now) {
+  std::string out = "{\n  \"schema\": \"redbud.metrics.v1\",\n";
+  out += "  \"sim_time_s\": " + fmt_double(now.to_seconds(), 6) + ",\n";
+
+  out += "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : obs.registry.counters()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": " + std::to_string(c->value());
+  }
+  for (const auto& [name, v] : obs.registry.values()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": " + std::to_string(*v);
+  }
+  out += "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : obs.registry.gauges()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": {\"current\": " +
+           fmt_double(g->current()) + ", \"mean\": " +
+           fmt_double(g->time_weighted_mean(now)) + ", \"max\": " +
+           fmt_double(g->max()) + "}";
+  }
+  out += "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : obs.registry.histograms()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": ";
+    append_histogram_json(out, *h);
+  }
+  out += "\n  },\n";
+
+  // Per-stage latency percentiles, one entry per (track group, stage).
+  out += "  \"stages\": [";
+  first = true;
+  for (const auto& [key, hist] : obs.tracer.stage_latency()) {
+    const auto [pid, stage] = key;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"stage\": \"";
+    out += stage_name(stage);
+    out += "\", \"track\": \"" + json_escape(pid_name(obs.tracer, pid));
+    out += "\", \"pid\": " + std::to_string(pid) + ", \"latency\": ";
+    append_histogram_json(out, hist);
+    out += "}";
+  }
+  out += "\n  ],\n";
+
+  out += "  \"spans\": {\"recorded\": " +
+         std::to_string(obs.tracer.spans().size()) + ", \"dropped\": " +
+         std::to_string(obs.tracer.spans_dropped()) + "}\n}\n";
+  return out;
+}
+
+bool write_metrics_json(const Obs& obs, redbud::sim::SimTime now,
+                        const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << metrics_json(obs, now);
+  return bool(f);
+}
+
+std::vector<Stage> reconstruct_chain(const Tracer& tracer,
+                                     std::uint64_t trace_id) {
+  const auto& spans = tracer.spans();
+  const auto find_span = [&](auto pred) -> const SpanRecord* {
+    for (const auto& s : spans) {
+      if (pred(s)) return &s;
+    }
+    return nullptr;
+  };
+
+  std::vector<Stage> chain;
+  // Root: the client op span of this trace.
+  const SpanRecord* op = find_span([&](const SpanRecord& s) {
+    return s.trace == trace_id && s.parent == 0 &&
+           s.stage <= Stage::kClientFsync;
+  });
+  if (!op) return chain;
+  chain.push_back(op->stage);
+
+  const SpanRecord* qwait = find_span([&](const SpanRecord& s) {
+    return s.trace == trace_id && s.stage == Stage::kQueueWait;
+  });
+  if (qwait) chain.push_back(Stage::kQueueWait);
+
+  const SpanRecord* e2e = find_span([&](const SpanRecord& s) {
+    return s.trace == trace_id && s.stage == Stage::kCommitE2e;
+  });
+  if (!e2e) return chain;
+
+  // The e2e span's arg1 names the checkout-batch span this update rode.
+  const SpanRecord* batch = find_span([&](const SpanRecord& s) {
+    return s.span == e2e->arg1 && s.stage == Stage::kCheckoutBatch;
+  });
+  if (batch) {
+    chain.push_back(Stage::kCheckoutBatch);
+    const SpanRecord* rpc = find_span([&](const SpanRecord& s) {
+      return s.parent == batch->span && s.stage == Stage::kRpcWire;
+    });
+    if (rpc) {
+      chain.push_back(Stage::kRpcWire);
+      const SpanRecord* mds = find_span([&](const SpanRecord& s) {
+        return s.parent == rpc->span && s.stage == Stage::kMdsHandle;
+      });
+      if (mds) {
+        chain.push_back(Stage::kMdsHandle);
+        const SpanRecord* jrn = find_span([&](const SpanRecord& s) {
+          return s.parent == mds->span && s.stage == Stage::kJournalFsync;
+        });
+        if (jrn) chain.push_back(Stage::kJournalFsync);
+      }
+    }
+  }
+  chain.push_back(Stage::kCommitE2e);
+  return chain;
+}
+
+bool chain_unbroken(const Tracer& tracer, std::uint64_t trace_id) {
+  const auto chain = reconstruct_chain(tracer, trace_id);
+  const Stage required[] = {Stage::kQueueWait,  Stage::kCheckoutBatch,
+                            Stage::kRpcWire,    Stage::kMdsHandle,
+                            Stage::kJournalFsync, Stage::kCommitE2e};
+  for (const Stage st : required) {
+    if (std::find(chain.begin(), chain.end(), st) == chain.end()) return false;
+  }
+  return !chain.empty() && chain.front() <= Stage::kClientFsync;
+}
+
+}  // namespace redbud::obs

@@ -1,0 +1,44 @@
+// Run artifacts: a Chrome/Perfetto trace_events JSON of the span log and
+// a metrics.json snapshot of the registry plus per-stage latency
+// percentiles. Both are deterministic renderings — same run, same bytes —
+// so they can be golden-file tested and diffed across PRs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "sim/time.hpp"
+
+namespace redbud::obs {
+
+// Chrome trace_events ("Perfetto legacy JSON") rendering of the span log:
+// one complete event ("ph":"X") per span, sim-time microseconds, one
+// process group per client / shard with named tracks, span identity and
+// annotations under "args". Open with https://ui.perfetto.dev.
+[[nodiscard]] std::string perfetto_json(const Tracer& tracer);
+// Returns false when the file cannot be opened or written.
+[[nodiscard]] bool write_perfetto_json(const Tracer& tracer,
+                                       const std::string& path);
+
+// Registry + stage-latency snapshot. `now` timestamps the snapshot and
+// finalises time-weighted gauges.
+[[nodiscard]] std::string metrics_json(const Obs& obs, redbud::sim::SimTime now);
+[[nodiscard]] bool write_metrics_json(const Obs& obs, redbud::sim::SimTime now,
+                                      const std::string& path);
+
+// Reconstruct the causal chain of the update whose root span is the op
+// span of `trace`: client op -> queue wait -> (via the commit-e2e span's
+// batch annotation) checkout batch -> RPC wire -> MDS handle -> journal
+// fsync. Returns the stages found in causal order; an unbroken
+// delayed-commit chain contains all of kClientWrite, kQueueWait,
+// kCommitE2e, kCheckoutBatch, kRpcWire, kMdsHandle, kJournalFsync.
+[[nodiscard]] std::vector<Stage> reconstruct_chain(const Tracer& tracer,
+                                                   std::uint64_t trace_id);
+// True when `trace_id` reconstructs every stage of the delayed-commit
+// pipeline (the acceptance check used by mds_scaling --trace and tests).
+[[nodiscard]] bool chain_unbroken(const Tracer& tracer,
+                                  std::uint64_t trace_id);
+
+}  // namespace redbud::obs

@@ -1,0 +1,97 @@
+#include "obs/metrics_registry.hpp"
+
+#include <algorithm>
+
+namespace redbud::obs {
+
+std::string canonical_metric_name(const std::string& name, Labels labels) {
+  if (labels.empty()) return name;
+  std::sort(labels.begin(), labels.end(),
+            [](const Label& a, const Label& b) { return a.key < b.key; });
+  std::string out = name;
+  out += '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].key;
+    out += '=';
+    out += labels[i].value;
+  }
+  out += '}';
+  return out;
+}
+
+std::string MetricsRegistry::base_name(const std::string& canonical) {
+  const auto brace = canonical.find('{');
+  return brace == std::string::npos ? canonical : canonical.substr(0, brace);
+}
+
+void MetricsRegistry::register_counter(const std::string& name, Labels labels,
+                                       const redbud::sim::Counter* c) {
+  counters_[canonical_metric_name(name, std::move(labels))] = c;
+}
+
+void MetricsRegistry::register_value(const std::string& name, Labels labels,
+                                     const std::uint64_t* v) {
+  values_[canonical_metric_name(name, std::move(labels))] = v;
+}
+
+void MetricsRegistry::register_gauge(const std::string& name, Labels labels,
+                                     const redbud::sim::Gauge* g) {
+  gauges_[canonical_metric_name(name, std::move(labels))] = g;
+}
+
+void MetricsRegistry::register_histogram(
+    const std::string& name, Labels labels,
+    const redbud::sim::LatencyHistogram* h) {
+  histograms_[canonical_metric_name(name, std::move(labels))] = h;
+}
+
+std::optional<std::uint64_t> MetricsRegistry::value(
+    const std::string& canonical) const {
+  if (auto it = counters_.find(canonical); it != counters_.end()) {
+    return it->second->value();
+  }
+  if (auto it = values_.find(canonical); it != values_.end()) {
+    return *it->second;
+  }
+  return std::nullopt;
+}
+
+const redbud::sim::Gauge* MetricsRegistry::gauge(
+    const std::string& canonical) const {
+  auto it = gauges_.find(canonical);
+  return it == gauges_.end() ? nullptr : it->second;
+}
+
+const redbud::sim::LatencyHistogram* MetricsRegistry::histogram(
+    const std::string& canonical) const {
+  auto it = histograms_.find(canonical);
+  return it == histograms_.end() ? nullptr : it->second;
+}
+
+std::uint64_t MetricsRegistry::sum(const std::string& name) const {
+  std::uint64_t total = 0;
+  for (const auto& [canon, c] : counters_) {
+    if (base_name(canon) == name) total += c->value();
+  }
+  for (const auto& [canon, v] : values_) {
+    if (base_name(canon) == name) total += *v;
+  }
+  return total;
+}
+
+std::size_t MetricsRegistry::cardinality(const std::string& name) const {
+  std::size_t n = 0;
+  const auto count_in = [&](const auto& map) {
+    for (const auto& [canon, _] : map) {
+      if (base_name(canon) == name) ++n;
+    }
+  };
+  count_in(counters_);
+  count_in(values_);
+  count_in(gauges_);
+  count_in(histograms_);
+  return n;
+}
+
+}  // namespace redbud::obs

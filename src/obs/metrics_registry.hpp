@@ -1,0 +1,100 @@
+// Central metrics registry.
+//
+// Components own their instruments exactly as before (plain uint64
+// counters, sim::Counter / Gauge / LatencyHistogram members) and register
+// *views* of them here at construction, under a canonical
+// `name{key=value,...}` identity. The registry is the one place benches,
+// exporters and tests resolve instruments by name, replacing the previous
+// pattern of reaching into each component's accessors.
+//
+// Non-owning by design: registration costs one map insert at construction
+// and nothing on the hot path — the instrument update sites are exactly
+// the code that already existed. The registry must outlive registered
+// components only for reads, which the owning Cluster guarantees by
+// declaration order.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace redbud::obs {
+
+struct Label {
+  std::string key;
+  std::string value;
+};
+using Labels = std::vector<Label>;
+
+// Canonical identity: name{k1=v1,k2=v2} with labels sorted by key.
+[[nodiscard]] std::string canonical_metric_name(const std::string& name,
+                                                Labels labels);
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Registration (construction-time). Re-registering the same canonical
+  // identity replaces the view — a rebuilt component wins.
+  void register_counter(const std::string& name, Labels labels,
+                        const redbud::sim::Counter* c);
+  void register_value(const std::string& name, Labels labels,
+                      const std::uint64_t* v);
+  void register_gauge(const std::string& name, Labels labels,
+                      const redbud::sim::Gauge* g);
+  void register_histogram(const std::string& name, Labels labels,
+                          const redbud::sim::LatencyHistogram* h);
+
+  // Reads by canonical name. value() resolves both counter kinds.
+  [[nodiscard]] std::optional<std::uint64_t> value(
+      const std::string& canonical) const;
+  [[nodiscard]] const redbud::sim::Gauge* gauge(
+      const std::string& canonical) const;
+  [[nodiscard]] const redbud::sim::LatencyHistogram* histogram(
+      const std::string& canonical) const;
+
+  // Sum of a counter over every label set registered under `name`.
+  [[nodiscard]] std::uint64_t sum(const std::string& name) const;
+  // Number of label sets registered under a metric name (cardinality).
+  [[nodiscard]] std::size_t cardinality(const std::string& name) const;
+  [[nodiscard]] std::size_t size() const {
+    return counters_.size() + values_.size() + gauges_.size() +
+           histograms_.size();
+  }
+
+  [[nodiscard]] const std::map<std::string, const redbud::sim::Counter*>&
+  counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, const std::uint64_t*>& values()
+      const {
+    return values_;
+  }
+  [[nodiscard]] const std::map<std::string, const redbud::sim::Gauge*>&
+  gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string,
+                               const redbud::sim::LatencyHistogram*>&
+  histograms() const {
+    return histograms_;
+  }
+
+ private:
+  // Base metric name of a canonical identity (strip the label block).
+  [[nodiscard]] static std::string base_name(const std::string& canonical);
+
+  std::map<std::string, const redbud::sim::Counter*> counters_;
+  std::map<std::string, const std::uint64_t*> values_;
+  std::map<std::string, const redbud::sim::Gauge*> gauges_;
+  std::map<std::string, const redbud::sim::LatencyHistogram*> histograms_;
+};
+
+}  // namespace redbud::obs

@@ -1,0 +1,27 @@
+// The per-cluster observability bundle: one metrics registry plus one
+// span tracer, threaded through every component of the delayed-commit
+// pipeline. Components accept an `obs::Obs*` (nullptr = fully untracked,
+// the pre-observability behaviour) and a Cluster owns one instance whose
+// lifetime brackets every registered component.
+#pragma once
+
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+
+namespace redbud::obs {
+
+struct ObsParams {
+  TracerParams tracing;
+};
+
+struct Obs {
+  Obs() = default;
+  explicit Obs(const ObsParams& params) : tracer(params.tracing) {}
+  Obs(const Obs&) = delete;
+  Obs& operator=(const Obs&) = delete;
+
+  MetricsRegistry registry;
+  Tracer tracer;
+};
+
+}  // namespace redbud::obs

@@ -26,14 +26,15 @@ SimTime LatencyHistogram::bucket_lower(int idx) {
 void LatencyHistogram::record(SimTime latency) {
   ++buckets_[static_cast<std::size_t>(bucket_for(latency))];
   ++count_;
-  sum_ns_ += latency.ns();
+  assert(latency.ns() >= 0);
+  sum_ns_ += WideNanos(latency.ns());
   min_ = std::min(min_, latency);
   max_ = std::max(max_, latency);
 }
 
 SimTime LatencyHistogram::mean() const {
-  return count_ == 0 ? SimTime::zero()
-                     : SimTime::nanos(sum_ns_ / std::int64_t(count_));
+  if (count_ == 0) return SimTime::zero();
+  return SimTime::nanos(std::int64_t(sum_ns_ / WideNanos(count_)));
 }
 
 SimTime LatencyHistogram::percentile(double p) const {

@@ -24,6 +24,12 @@ class Counter {
   std::uint64_t value_ = 0;
 };
 
+// 128-bit accumulator for the histogram's exact nanosecond sum. A 64-bit
+// signed sum overflows after ~9.2e18 ns-observations — e.g. ~4.6 billion
+// records of 2 s each, which long traced runs of wide sweeps can reach —
+// and from then on mean() silently goes negative/garbage.
+using WideNanos = unsigned __int128;
+
 // Latency histogram with logarithmic buckets from 1us to ~1000s.
 // Records exact sum/count for means; percentiles are bucket-interpolated.
 class LatencyHistogram {
@@ -43,7 +49,7 @@ class LatencyHistogram {
   static constexpr int kDecades = 9;  // 1us .. 1e9 us
   std::vector<std::uint64_t> buckets_;
   std::uint64_t count_ = 0;
-  std::int64_t sum_ns_ = 0;
+  WideNanos sum_ns_ = 0;
   SimTime min_ = SimTime::max();
   SimTime max_ = SimTime::zero();
 
@@ -69,7 +75,9 @@ class TimeSeries {
   [[nodiscard]] double max_value() const;
   [[nodiscard]] double mean_value() const;
   // Write as CSV ("time_s,value") to the given path; returns success.
-  bool write_csv(const std::string& path) const;
+  // Callers must check the result — a failed open or short write here is
+  // lost figure data, not a recoverable condition.
+  [[nodiscard]] bool write_csv(const std::string& path) const;
 
  private:
   std::string name_;

@@ -45,7 +45,7 @@ class BlkTrace {
   [[nodiscard]] double mean_abs_seek() const;
 
   // CSV: time_s,kind,block,nblocks,seek_distance
-  bool write_csv(const std::string& path) const;
+  [[nodiscard]] bool write_csv(const std::string& path) const;
 
  private:
   bool enabled_ = false;

@@ -16,6 +16,7 @@
 #include <map>
 #include <vector>
 
+#include "obs/metrics_registry.hpp"
 #include "sim/future.hpp"
 #include "sim/simulation.hpp"
 #include "sim/stats.hpp"
@@ -81,6 +82,18 @@ class IoScheduler {
   }
   [[nodiscard]] bool busy() const { return busy_; }
   void reset_stats();
+
+  // Register this scheduler's counters and latency with the registry.
+  void register_metrics(obs::MetricsRegistry& reg,
+                        const obs::Labels& labels) const {
+    reg.register_value("io_sched.submitted", labels, &submitted_);
+    reg.register_value("io_sched.dispatched", labels, &dispatched_);
+    reg.register_value("io_sched.merged", labels, &merged_);
+    reg.register_value("io_sched.submitted_writes", labels,
+                       &submitted_writes_);
+    reg.register_value("io_sched.merged_writes", labels, &merged_writes_);
+    reg.register_histogram("io_sched.latency", labels, &latency_);
+  }
 
  private:
   struct Segment {

@@ -60,6 +60,19 @@ TEST(LatencyHistogram, ExtremeValuesAreClamped) {
   EXPECT_GT(h.percentile(99), SimTime::zero());
 }
 
+TEST(LatencyHistogram, LongRunSumSurvivesInt64Overflow) {
+  // Ten observations of 2^61 ns: the running sum crosses INT64_MAX
+  // (~9.2e18) on the fifth record, which a signed 64-bit accumulator
+  // wraps negative — the mean must still come back exact.
+  LatencyHistogram h;
+  const auto big = SimTime::nanos(std::int64_t(1) << 61);
+  for (int i = 0; i < 10; ++i) h.record(big);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.mean(), big);
+  EXPECT_EQ(h.min(), big);
+  EXPECT_EQ(h.max(), big);
+}
+
 TEST(LatencyHistogram, ResetClears) {
   LatencyHistogram h;
   h.record(SimTime::millis(5));
