@@ -77,6 +77,24 @@ inline void write_obs_artifacts(core::Cluster& cluster, std::string name) {
   }
 }
 
+// Parse `--threads N` / `--threads=N`: the worker-thread count for the
+// partitioned simulation kernel (ClusterParams::nthreads). Benches hand
+// it to their testbeds and record it per row in BENCH_kernel.json;
+// absent, the kernel runs serial (1), byte-identical to the
+// pre-partitioning figures.
+inline unsigned parse_threads(int argc, char** argv, unsigned def = 1) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--threads" && i + 1 < argc) {
+      return static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+    if (a.rfind("--threads=", 0) == 0) {
+      return static_cast<unsigned>(std::strtoul(a.c_str() + 10, nullptr, 10));
+    }
+  }
+  return def;
+}
+
 inline core::TestbedParams paper_testbed(core::Protocol proto) {
   core::TestbedParams p;
   p.protocol = proto;

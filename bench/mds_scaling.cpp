@@ -46,8 +46,10 @@ workload::FilebenchParams small_file_params() {
   return f;
 }
 
-core::TestbedParams scaling_testbed(std::uint32_t nshards) {
+core::TestbedParams scaling_testbed(std::uint32_t nshards,
+                                    std::uint32_t nthreads = 1) {
   auto p = bench::paper_testbed(Protocol::kRedbudDelayed);
+  p.redbud.nthreads = nthreads;
   p.nclients = 16;
   // Wide enough that the data path never binds: a single MDS serves
   // ~4k RPC/s, which drives roughly the same IOPS — 16 spindles
@@ -170,6 +172,10 @@ int run_traced() {
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::string_view(argv[1]) == "--trace") return run_traced();
+  // --threads N runs every configuration under the partitioned kernel
+  // with N worker threads (default 1 = the serial kernel, byte-identical
+  // to the pre-partitioning figures).
+  const unsigned kthreads = bench::parse_threads(argc, argv, 1);
   core::print_banner(
       std::cout, "MDS scaling — sharded metadata service",
       "fileserver small-file workload; aggregate throughput vs shard count");
@@ -180,9 +186,10 @@ int main(int argc, char** argv) {
     const std::uint32_t n = kShardCounts[i];
     Row& row = rows[i];
     row.nshards = n;
-    runner.add("shards/" + std::to_string(n), [n, &row]() -> std::uint64_t {
+    runner.add("shards/" + std::to_string(n), kthreads,
+               [n, kthreads, &row]() -> std::uint64_t {
       FileserverWorkload w(small_file_params());
-      core::Testbed bed(scaling_testbed(n));
+      core::Testbed bed(scaling_testbed(n, kthreads));
       bed.start();
       auto opt = bench::paper_run();
       const auto r = run_workload(bed, w, opt);
@@ -202,7 +209,6 @@ int main(int argc, char** argv) {
       // ordered writes (data newer than metadata), but the checker would
       // flag it. Once every client queue is empty, every durable commit
       // on every shard must match the array exactly.
-      auto& sim = bed.sim();
       for (int spin = 0; spin < 1500; ++spin) {
         std::size_t pending = 0;
         for (std::size_t ci = 0; ci < c.nclients(); ++ci) {
@@ -210,7 +216,7 @@ int main(int argc, char** argv) {
           pending += q.size() + q.in_flight();
         }
         if (pending == 0) break;
-        sim.run_until(sim.now() + redbud::sim::SimTime::millis(20));
+        bed.run_until(bed.now() + redbud::sim::SimTime::millis(20));
       }
       const auto report = core::check_consistency(c);
       row.consistent = report.consistent();
@@ -225,12 +231,38 @@ int main(int argc, char** argv) {
                                  "mds shard " + std::to_string(s));
         }
       }
-      return bed.sim().events_processed();
+      return bed.events_processed();
     });
   }
   runner.run_all();
   runner.write_json("mds_scaling");
   write_shards_json(rows);
+
+  // Kernel thread-scaling sweep: the 8-shard configuration re-run under
+  // the partitioned kernel at 1 / 2 / 4 / 8 worker threads. Sequential
+  // (one configuration at a time) so each run owns every core the host
+  // has, and shorter than the figure runs — this measures the kernel's
+  // events/sec, not the filesystem. Results land in BENCH_kernel.json
+  // under "mds_scaling_threads" with nthreads per row.
+  {
+    constexpr unsigned kThreadCounts[] = {1, 2, 4, 8};
+    bench::ParallelRunner sweep(1);
+    for (const unsigned nt : kThreadCounts) {
+      sweep.add("shards/8 threads/" + std::to_string(nt), nt,
+                [nt]() -> std::uint64_t {
+                  FileserverWorkload w(small_file_params());
+                  core::Testbed bed(scaling_testbed(8, nt));
+                  bed.start();
+                  auto opt = bench::paper_run();
+                  opt.warmup = redbud::sim::SimTime::seconds(1);
+                  opt.duration = redbud::sim::SimTime::seconds(2);
+                  (void)run_workload(bed, w, opt);
+                  return bed.events_processed();
+                });
+    }
+    sweep.run_all();
+    sweep.write_json("mds_scaling_threads");
+  }
 
   core::Table table({"shards", "ops/s", "commit entries/s", "speedup",
                      "shard commit spread", "consistent"});

@@ -28,6 +28,8 @@ struct RunRecord {
   std::string label;
   double wall_s = 0.0;
   std::uint64_t events = 0;
+  // Kernel worker threads the configuration ran with (1 = serial kernel).
+  unsigned nthreads = 1;
   [[nodiscard]] double events_per_sec() const {
     return wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0;
   }
@@ -46,7 +48,13 @@ class ParallelRunner {
   // one slot per job, so no synchronisation is needed), and returns the
   // number of kernel events the configuration processed.
   void add(std::string label, std::function<std::uint64_t()> fn) {
-    jobs_.push_back({std::move(label), std::move(fn)});
+    jobs_.push_back({std::move(label), 1, std::move(fn)});
+  }
+  // Same, tagging the record with the kernel thread count the
+  // configuration runs its simulation with.
+  void add(std::string label, unsigned nthreads,
+           std::function<std::uint64_t()> fn) {
+    jobs_.push_back({std::move(label), nthreads, std::move(fn)});
   }
 
   // Run every configuration; records() preserves submission order no
@@ -66,6 +74,7 @@ class ParallelRunner {
         r.label = jobs_[i].label;
         r.wall_s = dt.count();
         r.events = events;
+        r.nthreads = jobs_[i].nthreads;
         std::fprintf(stderr, "  done: %-32s %7.2fs  %6.2fM events/s\n",
                      r.label.c_str(), r.wall_s, r.events_per_sec() / 1e6);
       }
@@ -112,7 +121,8 @@ class ParallelRunner {
       const RunRecord& r = records_[i];
       own << "      {\"label\": \"" << r.label << "\", \"wall_s\": " << r.wall_s
           << ", \"events\": " << r.events
-          << ", \"events_per_sec\": " << r.events_per_sec() << "}"
+          << ", \"events_per_sec\": " << r.events_per_sec()
+          << ", \"nthreads\": " << r.nthreads << "}"
           << (i + 1 < records_.size() ? ",\n" : "\n");
     }
     own << "    ]\n  }";
@@ -140,6 +150,7 @@ class ParallelRunner {
  private:
   struct Job {
     std::string label;
+    unsigned nthreads = 1;
     std::function<std::uint64_t()> fn;
   };
 

@@ -35,7 +35,7 @@ ClientFs::ClientFs(redbud::sim::Simulation& sim, net::Network& network,
       mds_(std::move(mds_shards)),
       array_(&array),
       params_(params),
-      node_(network.add_node()),
+      node_(network.add_node(sim)),
       endpoint_(sim, network, node_),
       cache_(params.cache_pages),
       pools_(smap.nshards(), DoubleSpacePool(params.chunk_blocks)),
@@ -396,7 +396,7 @@ Process ClientFs::write_proc(net::FileId file, std::uint64_t offset,
       std::vector<ContentToken> slice(tokens.begin() + std::ptrdiff_t(ti),
                                       tokens.begin() +
                                           std::ptrdiff_t(ti + e.nblocks));
-      auto fut = array_->write(e.addr, e.nblocks, std::move(slice));
+      auto fut = array_->write(*sim_, e.addr, e.nblocks, std::move(slice));
       for (std::uint32_t b = 0; b < e.nblocks; ++b) {
         st.writeback[e.file_block + b] = fut;
       }
@@ -516,8 +516,10 @@ Process ClientFs::read_proc(net::FileId file, std::uint64_t offset,
     std::uint32_t index;  // into out.tokens
     storage::PhysAddr addr;
     std::uint32_t count;
-    SimFuture<Done> fut;
+    SimFuture<Done> fut;  // serial path: completion signal, then peek()
+    SimFuture<std::vector<storage::ContentToken>> tfut;  // parallel path
   };
+  const bool parallel_array = array_->parallel();
   std::vector<Fetch> fetches;
   {
     FileState& st = state(file);
@@ -546,13 +548,25 @@ Process ClientFs::read_proc(net::FileId file, std::uint64_t offset,
       storage::PhysAddr addr{covering->addr.device,
                              covering->addr.block +
                                  (blk - covering->file_block)};
-      fetches.push_back(Fetch{i, addr, run, array_->read(addr, run)});
+      if (parallel_array) {
+        // The array lives in another partition: the tokens travel with
+        // the completion instead of being peeked from the device.
+        fetches.push_back(
+            Fetch{i, addr, run, {}, array_->read_tokens(*sim_, addr, run)});
+      } else {
+        fetches.push_back(Fetch{i, addr, run, array_->read(addr, run), {}});
+      }
       i += run;
     }
   }
   for (auto& f : fetches) {
-    co_await f.fut;
-    auto toks = array_->peek(f.addr, f.count);
+    std::vector<storage::ContentToken> toks;
+    if (parallel_array) {
+      toks = co_await f.tfut;
+    } else {
+      co_await f.fut;
+      toks = array_->peek(f.addr, f.count);
+    }
     for (std::uint32_t k = 0; k < f.count; ++k) {
       out.tokens[f.index + k] = toks[k];
       cache_.put_clean(file, range.first + f.index + k, toks[k]);

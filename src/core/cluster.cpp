@@ -1,15 +1,48 @@
 #include "core/cluster.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace redbud::core {
 
+namespace {
+// Conservative lookahead of the partitioned kernel: the smallest latency
+// any cross-partition interaction can have. Partitions are joined only by
+// the Ethernet switch (link + switch propagation) and the FC fabric.
+redbud::sim::SimTime cluster_lookahead(const ClusterParams& p) {
+  return std::min(p.network.link_latency + p.network.switch_latency,
+                  p.array.fc_latency);
+}
+}  // namespace
+
 Cluster::Cluster(ClusterParams params)
     : params_(std::move(params)),
       shard_map_(params_.nshards),
-      obs_(params_.obs) {
-  network_ = std::make_unique<net::Network>(sim_, params_.network);
-  array_ = std::make_unique<storage::DiskArray>(sim_, params_.array);
+      obs_(params_.obs),
+      domain_(params_.nthreads, cluster_lookahead(params_)) {
+  // Partition layout: one event loop per MDS shard, one per client host,
+  // one for the disk array behind the FC fabric. A serial domain hands
+  // back the same single Simulation for every add_partition() call, so
+  // the wiring below covers both modes.
+  for (std::uint32_t s = 0; s < params_.nshards; ++s) {
+    shard_sims_.push_back(&domain_.add_partition());
+  }
+  for (std::uint32_t c = 0; c < params_.nclients; ++c) {
+    client_sims_.push_back(&domain_.add_partition());
+  }
+  redbud::sim::Simulation& array_sim = domain_.add_partition();
+  if (domain_.parallel()) {
+    // Per-partition trace/metrics lanes, merged deterministically at read.
+    obs_.tracer.set_lane_count(domain_.nparts());
+  }
+
+  if (domain_.parallel()) {
+    network_ = std::make_unique<net::Network>(domain_, params_.network);
+  } else {
+    network_ = std::make_unique<net::Network>(*shard_sims_[0], params_.network);
+  }
+  array_ = std::make_unique<storage::DiskArray>(array_sim, params_.array);
+  array_->bind_domain(&domain_);
 
   // Metadata shards. Node ids are handed out in shard order before any
   // client node, so a one-shard cluster reproduces the single-MDS node
@@ -32,17 +65,18 @@ Cluster::Cluster(ClusterParams params)
                     : params_.array.disk.total_blocks / params_.nshards;
   assert(span > 0);
   for (std::uint32_t s = 0; s < params_.nshards; ++s) {
+    redbud::sim::Simulation& ssim = *shard_sims_[s];
     auto sh = std::make_unique<Shard>();
-    const auto node = network_->add_node();
-    sh->endpoint = std::make_unique<net::RpcEndpoint>(sim_, *network_, node);
+    const auto node = network_->add_node(ssim);
+    sh->endpoint = std::make_unique<net::RpcEndpoint>(ssim, *network_, node);
 
     auto disk_params = params_.metadata_disk;
     disk_params.seed += s;
-    sh->meta_disk = std::make_unique<storage::Disk>(sim_, disk_params);
+    sh->meta_disk = std::make_unique<storage::Disk>(ssim, disk_params);
     sh->meta_sched = std::make_unique<storage::IoScheduler>(
-        sim_, *sh->meta_disk, params_.array.scheduler);
+        ssim, *sh->meta_disk, params_.array.scheduler);
     sh->journal =
-        std::make_unique<mds::Journal>(sim_, *sh->meta_sched, params_.journal);
+        std::make_unique<mds::Journal>(ssim, *sh->meta_sched, params_.journal);
 
     auto space_params = params_.space;
     space_params.seed += s;
@@ -56,7 +90,7 @@ Cluster::Cluster(ClusterParams params)
 
     auto mds_params = params_.mds;
     mds_params.shard = s;
-    sh->mds = std::make_unique<mds::MdsServer>(sim_, *sh->endpoint, *sh->space,
+    sh->mds = std::make_unique<mds::MdsServer>(ssim, *sh->endpoint, *sh->space,
                                                *sh->journal, mds_params);
 
     // Observability: name the shard's track rows and register every
@@ -82,7 +116,8 @@ Cluster::Cluster(ClusterParams params)
     auto client_params = params_.client;
     client_params.client_id = i;
     clients_.push_back(std::make_unique<client::ClientFs>(
-        sim_, *network_, shard_map_, endpoints, *array_, client_params));
+        *client_sims_[i], *network_, shard_map_, endpoints, *array_,
+        client_params));
     clients_.back()->set_obs(&obs_);
   }
 }

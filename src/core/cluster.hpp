@@ -13,8 +13,15 @@
 // singular accessors (mds(), journal(), ...) alias shard 0 so existing
 // tests and benches read naturally.
 //
-// Declaration order matters: the Simulation must outlive every component,
-// so it is the first stateful member.
+// With nthreads > 1 the cluster becomes a partitioned SimDomain: one
+// event-loop partition per MDS shard, per client host, and one for the
+// disk array, synchronized in conservative time windows bounded by the
+// network's minimum cross-node latency (see sim/parallel.hpp). nthreads
+// <= 1 (the default) collapses to the single serial Simulation,
+// event-for-event identical to the pre-partitioning kernel.
+//
+// Declaration order matters: the SimDomain (which owns every Simulation)
+// must outlive every component, so it is the first stateful member.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +34,7 @@
 #include "net/network.hpp"
 #include "net/rpc.hpp"
 #include "obs/obs.hpp"
+#include "sim/parallel.hpp"
 #include "sim/simulation.hpp"
 #include "storage/disk_array.hpp"
 
@@ -49,6 +57,8 @@ enum class SpacePartition : std::uint8_t {
 struct ClusterParams {
   std::uint32_t nclients = 7;  // the paper's eight-node cluster: 7 + MDS
   std::uint32_t nshards = 1;   // metadata shards (1 = the paper's testbed)
+  // Worker threads driving the partitioned kernel; <= 1 = serial kernel.
+  std::uint32_t nthreads = 1;
   SpacePartition partition = SpacePartition::kSliceDevices;
   net::NetworkParams network;
   storage::ArrayParams array;
@@ -70,7 +80,22 @@ class Cluster {
   // pools). Call once before running.
   void start();
 
-  [[nodiscard]] redbud::sim::Simulation& sim() { return sim_; }
+  // The partition owning shard 0 — the whole cluster when serial. Parallel
+  // callers drive the cluster through the domain accessors below instead.
+  [[nodiscard]] redbud::sim::Simulation& sim() { return domain_.partition(0); }
+  [[nodiscard]] redbud::sim::SimDomain& domain() { return domain_; }
+  [[nodiscard]] bool parallel() const { return domain_.parallel(); }
+  // The partition simulating client host `i` (== sim() serially).
+  [[nodiscard]] redbud::sim::Simulation& client_sim(std::size_t i) {
+    return *client_sims_[i];
+  }
+  // Domain-wide driving: advance all partitions to exactly `t`.
+  void run_until(redbud::sim::SimTime t) { domain_.run_until(t); }
+  [[nodiscard]] redbud::sim::SimTime now() const { return domain_.now(); }
+  [[nodiscard]] std::uint64_t events_processed() const {
+    return domain_.events_processed();
+  }
+  void check_failures() const { domain_.check_failures(); }
   [[nodiscard]] std::size_t nclients() const { return clients_.size(); }
   [[nodiscard]] client::ClientFs& client(std::size_t i) {
     return *clients_[i];
@@ -128,7 +153,10 @@ class Cluster {
   // Declared before every component (destroyed after them): components
   // hold non-owning registry views and tracer pointers.
   obs::Obs obs_;
-  redbud::sim::Simulation sim_;
+  redbud::sim::SimDomain domain_;
+  // Partition assignment (all aliases of partition 0 when serial).
+  std::vector<redbud::sim::Simulation*> shard_sims_;
+  std::vector<redbud::sim::Simulation*> client_sims_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<storage::DiskArray> array_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -142,4 +142,37 @@ redbud::sim::Simulation& Testbed::sim() {
   return cluster_ ? cluster_->sim() : baseline_->sim;
 }
 
+bool Testbed::parallel() const {
+  return cluster_ != nullptr && cluster_->parallel();
+}
+
+redbud::sim::Simulation& Testbed::client_sim(std::size_t i) {
+  return cluster_ ? cluster_->client_sim(i) : baseline_->sim;
+}
+
+void Testbed::run_until(redbud::sim::SimTime t) {
+  if (cluster_) {
+    cluster_->run_until(t);
+  } else {
+    baseline_->sim.run_until(t);
+  }
+}
+
+redbud::sim::SimTime Testbed::now() {
+  return cluster_ ? cluster_->now() : baseline_->sim.now();
+}
+
+std::uint64_t Testbed::events_processed() {
+  return cluster_ ? cluster_->events_processed()
+                  : baseline_->sim.events_processed();
+}
+
+void Testbed::check_failures() {
+  if (cluster_) {
+    cluster_->check_failures();
+  } else {
+    baseline_->sim.check_failures();
+  }
+}
+
 }  // namespace redbud::core

@@ -51,6 +51,17 @@ class Testbed {
   [[nodiscard]] fsapi::FsClient& fs(std::size_t i) { return *fs_[i]; }
   [[nodiscard]] Protocol protocol() const { return params_.protocol; }
 
+  // Partitioned-kernel dispatchers. Baselines are always serial, so these
+  // collapse to the plain Simulation calls for them (and for serial
+  // Redbud clusters).
+  [[nodiscard]] bool parallel() const;
+  // The partition simulating client host `i` (== sim() serially).
+  [[nodiscard]] redbud::sim::Simulation& client_sim(std::size_t i);
+  void run_until(redbud::sim::SimTime t);
+  [[nodiscard]] redbud::sim::SimTime now();
+  [[nodiscard]] std::uint64_t events_processed();
+  void check_failures();
+
   // Redbud-only accessor (nullptr for the baselines).
   [[nodiscard]] Cluster* cluster() { return cluster_.get(); }
 

@@ -1,6 +1,7 @@
 #include "net/network.hpp"
 
 #include <cassert>
+#include <utility>
 
 namespace redbud::net {
 
@@ -9,36 +10,93 @@ using redbud::sim::Done;
 using redbud::sim::Process;
 using redbud::sim::SimFuture;
 using redbud::sim::SimPromise;
+using redbud::sim::SimTime;
+using redbud::sim::SmallFn;
 
 Network::Network(redbud::sim::Simulation& sim, NetworkParams params)
     : sim_(&sim), params_(params) {}
 
+Network::Network(redbud::sim::SimDomain& domain, NetworkParams params)
+    : sim_(nullptr), domain_(&domain), params_(params) {}
+
 NodeId Network::add_node(double nic_bytes_per_second) {
+  assert(sim_ != nullptr && "partitioned network nodes need an owning sim");
+  return add_node(*sim_, nic_bytes_per_second);
+}
+
+NodeId Network::add_node(redbud::sim::Simulation& owner,
+                         double nic_bytes_per_second) {
   const double bw = nic_bytes_per_second > 0.0 ? nic_bytes_per_second
                                                : params_.nic_bytes_per_second;
   auto node = std::make_unique<Node>();
-  node->egress = std::make_unique<BitPipe>(*sim_, bw, params_.link_latency);
-  node->ingress = std::make_unique<BitPipe>(*sim_, bw, params_.link_latency);
+  node->egress = std::make_unique<BitPipe>(owner, bw, params_.link_latency);
+  node->ingress = std::make_unique<BitPipe>(owner, bw, params_.link_latency);
+  node->sim = &owner;
+  node->partition = owner.partition_id();
   nodes_.push_back(std::move(node));
   return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Network::register_endpoint(NodeId n, RpcEndpoint* ep) {
+  if (endpoints_.size() <= n) endpoints_.resize(n + 1, nullptr);
+  endpoints_[n] = ep;
 }
 
 Process Network::send_proc(NodeId from, NodeId to, std::size_t bytes,
                            SimPromise<Done> p) {
   co_await nodes_[from]->egress->transfer(bytes);
-  co_await sim_->delay(params_.switch_latency);
+  co_await nodes_[from]->sim->delay(params_.switch_latency);
   co_await nodes_[to]->ingress->transfer(bytes);
   p.set_value(Done{});
 }
 
 SimFuture<Done> Network::send(NodeId from, NodeId to, std::size_t bytes) {
   assert(from < nodes_.size() && to < nodes_.size());
-  ++messages_;
-  bytes_ += bytes;
-  SimPromise<Done> p(*sim_);
+  assert(nodes_[from]->partition == nodes_[to]->partition &&
+         "send() across partitions — use deliver()");
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  Node& src = *nodes_[from];
+  SimPromise<Done> p(*src.sim);
   auto fut = p.future();
-  sim_->spawn(send_proc(from, to, bytes, std::move(p)));
+  src.sim->spawn(send_proc(from, to, bytes, std::move(p)));
   return fut;
+}
+
+Process Network::deliver_proc(NodeId from, NodeId to, std::size_t bytes,
+                              SmallFn done) {
+  co_await nodes_[from]->egress->transfer(bytes);
+  co_await nodes_[from]->sim->delay(params_.switch_latency);
+  co_await nodes_[to]->ingress->transfer(bytes);
+  done();
+}
+
+void Network::deliver(NodeId from, NodeId to, std::size_t bytes,
+                      SmallFn done) {
+  assert(from < nodes_.size() && to < nodes_.size());
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  Node& src = *nodes_[from];
+  Node& dst = *nodes_[to];
+  if (domain_ == nullptr || src.partition == dst.partition) {
+    src.sim->spawn(deliver_proc(from, to, bytes, std::move(done)));
+    return;
+  }
+  // Cross-partition hop. The egress reservation is made synchronously in
+  // the sender's partition — same instant and FIFO order as the serial
+  // send coroutine, whose first action is the egress transfer. Arrival at
+  // the switch output is egress-arrival + switch latency, which is at
+  // least link + switch >= domain lookahead in the future, so it is a
+  // legal mailbox injection into the receiver's partition, where the
+  // ingress reservation and the completion callback run.
+  const SimTime at_switch_out =
+      src.egress->enqueue(bytes) + params_.switch_latency;
+  domain_->post(*src.sim, dst.partition, at_switch_out,
+                [this, to, bytes, done = std::move(done)]() mutable {
+                  Node& d = *nodes_[to];
+                  const SimTime arrival = d.ingress->enqueue(bytes);
+                  d.sim->call_at(arrival, std::move(done));
+                });
 }
 
 }  // namespace redbud::net

@@ -5,19 +5,31 @@
 // flood the MDS with small commit RPCs, the MDS *ingress* pipe and request
 // queue back up, and when NFS3 funnels all data through one server, that
 // server's NIC saturates.
+//
+// Under a parallel SimDomain the switch is the only cross-partition edge:
+// each node's pipes live in the partition that simulates the node, and a
+// remote send becomes a timestamped mailbox push — the egress reservation
+// happens synchronously in the sender's partition (same instant and FIFO
+// order as the serial kernel's send coroutine), the ingress reservation
+// and completion callback run in the receiver's partition at
+// egress-arrival + switch latency, which is >= the domain lookahead.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "sim/future.hpp"
+#include "sim/parallel.hpp"
 #include "sim/pipe.hpp"
 #include "sim/simulation.hpp"
 
 namespace redbud::net {
 
 using NodeId = std::uint32_t;
+
+class RpcEndpoint;
 
 struct NetworkParams {
   // 1000 Mb/s Ethernet minus framing => ~110 MiB/s usable.
@@ -29,16 +41,45 @@ struct NetworkParams {
 class Network {
  public:
   Network(redbud::sim::Simulation& sim, NetworkParams params);
+  // Parallel-capable network: nodes must be added with an owning
+  // partition via add_node(Simulation&, ...).
+  Network(redbud::sim::SimDomain& domain, NetworkParams params);
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
   // Register a node; returns its id. Optional NIC speed override.
   NodeId add_node(double nic_bytes_per_second = 0.0);
+  // Register a node whose pipes live in `owner`'s partition.
+  NodeId add_node(redbud::sim::Simulation& owner,
+                  double nic_bytes_per_second = 0.0);
 
   // Move `bytes` from `from` to `to`; the future resolves when the last
   // byte has been received (egress queueing + fabric + ingress queueing).
+  // Requires both nodes in the same partition (always true serially).
   [[nodiscard]] redbud::sim::SimFuture<redbud::sim::Done> send(
       NodeId from, NodeId to, std::size_t bytes);
+
+  // Move `bytes` from `from` to `to` and run `done` in the *receiver's*
+  // partition when the last byte arrives. The cross-partition primitive;
+  // also valid (and equivalent to send) within one partition.
+  void deliver(NodeId from, NodeId to, std::size_t bytes,
+               redbud::sim::SmallFn done);
+
+  [[nodiscard]] bool parallel() const {
+    return domain_ != nullptr && domain_->parallel();
+  }
+
+  // RPC endpoint directory, so a reply can be routed to the caller's
+  // partition without the server ever touching caller state directly.
+  void register_endpoint(NodeId n, RpcEndpoint* ep);
+  [[nodiscard]] RpcEndpoint* endpoint(NodeId n) const {
+    return n < endpoints_.size() ? endpoints_[n] : nullptr;
+  }
+
+  // The partition simulating node `n` (the network's own sim serially).
+  [[nodiscard]] redbud::sim::Simulation& node_sim(NodeId n) {
+    return *nodes_[n]->sim;
+  }
 
   [[nodiscard]] redbud::sim::BitPipe& egress(NodeId n) {
     return *nodes_[n]->egress;
@@ -47,23 +88,35 @@ class Network {
     return *nodes_[n]->ingress;
   }
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
-  [[nodiscard]] std::uint64_t messages_sent() const { return messages_; }
-  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
+  [[nodiscard]] std::uint64_t messages_sent() const {
+    return messages_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bytes_sent() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Node {
     std::unique_ptr<redbud::sim::BitPipe> egress;
     std::unique_ptr<redbud::sim::BitPipe> ingress;
+    redbud::sim::Simulation* sim = nullptr;
+    std::uint32_t partition = 0;
   };
 
   redbud::sim::Process send_proc(NodeId from, NodeId to, std::size_t bytes,
                                  redbud::sim::SimPromise<redbud::sim::Done> p);
+  redbud::sim::Process deliver_proc(NodeId from, NodeId to,
+                                    std::size_t bytes,
+                                    redbud::sim::SmallFn done);
 
   redbud::sim::Simulation* sim_;
+  redbud::sim::SimDomain* domain_ = nullptr;
   NetworkParams params_;
   std::vector<std::unique_ptr<Node>> nodes_;
-  std::uint64_t messages_ = 0;
-  std::uint64_t bytes_ = 0;
+  std::vector<RpcEndpoint*> endpoints_;
+  // Relaxed atomics: bumped from whichever partition initiates a send.
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
 };
 
 }  // namespace redbud::net

@@ -89,7 +89,11 @@ const char* op_name(const RequestBody& body) {
 
 RpcEndpoint::RpcEndpoint(redbud::sim::Simulation& sim, Network& net,
                          NodeId node)
-    : sim_(&sim), net_(&net), node_(node), incoming_(sim) {}
+    : sim_(&sim), net_(&net), node_(node), incoming_(sim) {
+  // Directory entry so a parallel-mode reply can be routed back to this
+  // endpoint's partition without the server touching caller state.
+  net.register_endpoint(node, this);
+}
 
 SimFuture<ResponseBody> RpcEndpoint::call(RpcEndpoint& server,
                                           RequestBody body,
@@ -106,14 +110,25 @@ SimFuture<ResponseBody> RpcEndpoint::call(RpcEndpoint& server,
   if (obs_ != nullptr && ctx.active()) rpc_ctx = obs_->tracer.child(ctx);
   pending_.emplace(xid, PendingCall{std::move(promise), sim_->now(), op,
                                     rpc_ctx, ctx.span});
-  server.peers_[node_] = this;
 
   ++calls_sent_;
   req_bytes_sent_ += bytes;
   auto& st = op_stats_[op];
   ++st.sent;
   st.bytes_sent += bytes;
-  sim_->spawn(deliver_request(&server, xid, std::move(body), bytes, rpc_ctx));
+  if (net_->parallel()) {
+    // Cross-partition request: arrival bookkeeping runs in the server's
+    // partition when the last byte lands there.
+    net_->deliver(node_, server.node_, bytes,
+                  [srv = &server, xid, from = node_, body = std::move(body),
+                   rpc_ctx]() mutable {
+                    srv->receive_request(xid, from, std::move(body), rpc_ctx);
+                  });
+  } else {
+    server.peers_[node_] = this;
+    sim_->spawn(
+        deliver_request(&server, xid, std::move(body), bytes, rpc_ctx));
+  }
   return fut;
 }
 
@@ -121,16 +136,31 @@ Process RpcEndpoint::deliver_request(RpcEndpoint* server, std::uint64_t xid,
                                      RequestBody body, std::size_t bytes,
                                      obs::TraceContext ctx) {
   co_await net_->send(node_, server->node_, bytes);
-  ++server->calls_received_;
-  ++server->op_stats_[op_name(body)].received;
-  const bool ok =
-      server->incoming_.try_send(IncomingRpc{xid, node_, std::move(body), ctx});
+  server->receive_request(xid, node_, std::move(body), ctx);
+}
+
+void RpcEndpoint::receive_request(std::uint64_t xid, NodeId from,
+                                  RequestBody body, obs::TraceContext ctx) {
+  ++calls_received_;
+  ++op_stats_[op_name(body)].received;
+  const bool ok = incoming_.try_send(IncomingRpc{xid, from, std::move(body), ctx});
   assert(ok);
   (void)ok;
 }
 
 void RpcEndpoint::reply(const IncomingRpc& rpc, ResponseBody body) {
   const std::size_t bytes = kRpcHeaderBytes + wire_size(body);
+  if (net_->parallel()) {
+    // Route the response through the endpoint directory: completion runs
+    // in the caller's partition at wire arrival.
+    RpcEndpoint* peer = net_->endpoint(rpc.from);
+    assert(peer != nullptr && "reply to an unregistered endpoint");
+    net_->deliver(node_, rpc.from, bytes,
+                  [peer, xid = rpc.xid, body = std::move(body)]() mutable {
+                    peer->complete_call(xid, std::move(body));
+                  });
+    return;
+  }
   sim_->spawn(deliver_response(rpc.from, rpc.xid, std::move(body), bytes));
 }
 

@@ -116,6 +116,10 @@ class RpcEndpoint {
                                        obs::TraceContext ctx);
   redbud::sim::Process deliver_response(NodeId to, std::uint64_t xid,
                                         ResponseBody body, std::size_t bytes);
+  // Server-side arrival bookkeeping + enqueue. Runs in the server's
+  // partition (directly from the wire-arrival event in parallel mode).
+  void receive_request(std::uint64_t xid, NodeId from, RequestBody body,
+                       obs::TraceContext ctx);
   void complete_call(std::uint64_t xid, ResponseBody body);
 
   redbud::sim::Simulation* sim_;

@@ -23,10 +23,12 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "sim/simulation.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
 
@@ -116,14 +118,28 @@ class Tracer {
   [[nodiscard]] bool enabled() const { return kCompiledIn && params_.enabled; }
   void set_enabled(bool on) { params_.enabled = on; }
 
+  // Partitioned kernels give every partition its own tracer lane so spans
+  // can be recorded from worker threads without locks. Lane 0 keeps the
+  // plain id counters (so serial runs are untouched); lane i >= 1 tags its
+  // ids with i << 48. Lanes are merged deterministically — spans sorted by
+  // (start, trace, span, ...) with per-lane-deterministic contents — the
+  // first time the span log or stage histograms are read after a run.
+  void set_lane_count(std::size_t nlanes);
+
   // Mint a fresh context: a new root chain, or a child span of `parent`
   // (same trace). Inert context when disabled.
   [[nodiscard]] TraceContext mint() {
     if (!enabled()) return {};
+    if (Lane* l = lane()) {
+      return TraceContext{l->tag | ++l->next_trace, l->tag | ++l->next_span};
+    }
     return TraceContext{++next_trace_, ++next_span_};
   }
   [[nodiscard]] TraceContext child(TraceContext parent) {
     if (!enabled() || !parent.active()) return {};
+    if (Lane* l = lane()) {
+      return TraceContext{parent.trace, l->tag | ++l->next_span};
+    }
     return TraceContext{parent.trace, ++next_span_};
   }
 
@@ -141,11 +157,20 @@ class Tracer {
   // Name a Perfetto track row (idempotent; later names win).
   void name_track(Track track, std::string process, std::string thread);
 
-  [[nodiscard]] const std::vector<SpanRecord>& spans() const { return spans_; }
-  [[nodiscard]] std::uint64_t spans_dropped() const { return dropped_; }
+  // Readers collapse any extra lanes into lane 0 first. Only call these
+  // while the domain is quiescent (between run_until calls).
+  [[nodiscard]] const std::vector<SpanRecord>& spans() const {
+    collapse_lanes();
+    return spans_;
+  }
+  [[nodiscard]] std::uint64_t spans_dropped() const {
+    collapse_lanes();
+    return dropped_;
+  }
   [[nodiscard]] const std::map<std::pair<std::uint32_t, Stage>,
                                redbud::sim::LatencyHistogram>&
   stage_latency() const {
+    collapse_lanes();
     return stage_lat_;
   }
   // Track names keyed by (pid, tid); tid 0 rows name the process group.
@@ -156,6 +181,30 @@ class Tracer {
   }
 
  private:
+  // Per-partition recording state for lanes >= 1; lane 0 lives directly in
+  // the members below so serial tracing stays exactly as it was.
+  struct Lane {
+    std::uint64_t tag = 0;  // high bits OR-ed into every minted id
+    std::uint64_t next_trace = 0;
+    std::uint64_t next_span = 0;
+    std::uint64_t dropped = 0;
+    std::vector<SpanRecord> spans;
+    std::map<std::pair<std::uint32_t, Stage>, redbud::sim::LatencyHistogram>
+        stage_lat;
+  };
+
+  // The lane of the partition the calling thread is executing, or nullptr
+  // for lane 0 / serial operation.
+  [[nodiscard]] Lane* lane() {
+    if (extra_lanes_.empty()) return nullptr;
+    const std::uint32_t p = redbud::sim::Simulation::current_partition();
+    if (p == 0 || p > extra_lanes_.size()) return nullptr;
+    return extra_lanes_[p - 1].get();
+  }
+  // Deterministic merge of the extra lanes into lane 0; requires a
+  // quiescent domain. Logically const: readers trigger it lazily.
+  void collapse_lanes() const;
+
   TracerParams params_;
   std::uint64_t next_trace_ = 0;
   std::uint64_t next_span_ = 0;
@@ -166,6 +215,7 @@ class Tracer {
   std::map<std::pair<std::uint32_t, std::uint32_t>,
            std::pair<std::string, std::string>>
       tracks_;
+  std::vector<std::unique_ptr<Lane>> extra_lanes_;
 };
 
 }  // namespace redbud::obs

@@ -13,7 +13,9 @@
 //    heap events back into the exact (time, seq) total order — replay
 //    stays bit-identical with the single-queue kernel.
 //  * TimerSlab — side storage for `call_at` callbacks. The heap carries a
-//    slab index; the std::function moves exactly twice (in, out).
+//    slab index; the SmallFn moves exactly twice (in, out), and captures up
+//    to SmallFn::kInlineBytes live in the slab itself — no per-timer heap
+//    allocation.
 //
 // Payload tagging: coroutine frame addresses are at least 2-byte aligned,
 // so the low bit distinguishes a coroutine resumption (bit clear, value is
@@ -24,10 +26,10 @@
 #include <cassert>
 #include <coroutine>
 #include <cstdint>
-#include <functional>
 #include <utility>
 #include <vector>
 
+#include "sim/small_fn.hpp"
 #include "sim/time.hpp"
 
 namespace redbud::sim::detail {
@@ -169,7 +171,7 @@ class ReadyRing {
 // Freed slots are recycled LIFO.
 class TimerSlab {
  public:
-  [[nodiscard]] std::uint32_t put(std::function<void()> fn) {
+  [[nodiscard]] std::uint32_t put(SmallFn fn) {
     if (!free_.empty()) {
       const std::uint32_t slot = free_.back();
       free_.pop_back();
@@ -183,15 +185,14 @@ class TimerSlab {
   // Moves the callback out and frees the slot. The caller invokes the
   // returned function *after* this returns, so a callback that schedules
   // new timers may safely reallocate the slab.
-  [[nodiscard]] std::function<void()> take(std::uint32_t slot) {
-    std::function<void()> fn = std::move(slots_[slot]);
-    slots_[slot] = nullptr;
+  [[nodiscard]] SmallFn take(std::uint32_t slot) {
+    SmallFn fn = std::move(slots_[slot]);
     free_.push_back(slot);
     return fn;
   }
 
  private:
-  std::vector<std::function<void()>> slots_;
+  std::vector<SmallFn> slots_;
   std::vector<std::uint32_t> free_;
 };
 

@@ -1,0 +1,193 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace redbud::sim {
+
+namespace detail {
+
+void require_failed(const char* what, const char* file, int line) {
+  std::fprintf(stderr, "REDBUD_REQUIRE failed: %s (%s:%d)\n", what, file,
+               line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+namespace {
+// Spin politely, then back off to real sleeps: rounds are short (tens of
+// microseconds of real time), but between run_until calls the driver may
+// run long serial phases (consistency checks, exports) and the pool must
+// not burn cores while it does.
+struct Backoff {
+  unsigned spins = 0;
+  void pause() {
+    if (spins < 64) {
+      ++spins;
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          spins < 256 ? 50 : 500));
+      if (spins < 256) ++spins;
+    }
+  }
+};
+}  // namespace
+
+}  // namespace detail
+
+SimDomain::SimDomain(unsigned nthreads, SimTime lookahead)
+    : nthreads_(nthreads == 0 ? 1 : nthreads), lookahead_(lookahead) {
+  REDBUD_REQUIRE(lookahead_ > SimTime::zero(),
+                 "domain lookahead must be positive");
+}
+
+SimDomain::~SimDomain() {
+  if (!workers_.empty()) {
+    quit_.store(true, std::memory_order_relaxed);
+    round_gen_.fetch_add(1, std::memory_order_release);
+    for (auto& w : workers_) w.join();
+  }
+}
+
+Simulation& SimDomain::add_partition() {
+  if (!parallel() && !parts_.empty()) return *parts_[0];
+  REDBUD_REQUIRE(workers_.empty(), "cannot add partitions after first run");
+  auto sim = std::make_unique<Simulation>();
+  sim->partition_id_ = static_cast<std::uint32_t>(parts_.size());
+  parts_.push_back(std::move(sim));
+  lanes_.resize(parts_.size());
+  return *parts_.back();
+}
+
+void SimDomain::post(Simulation& src, std::uint32_t dst, SimTime at,
+                     SmallFn fn) {
+  REDBUD_REQUIRE(dst < parts_.size(), "injection into unknown partition");
+  REDBUD_REQUIRE(at >= src.now() + lookahead_,
+                 "cross-partition injection inside the lookahead window");
+  if (!parallel()) {
+    // One partition, one thread: schedule directly. Staging would hold
+    // the callback until the next run_until call, past its due time.
+    parts_[dst]->call_at(at, std::move(fn));
+    return;
+  }
+  Lane& lane = lanes_[src.partition_id()];
+  lane.staged.push_back(
+      {at, src.partition_id(), dst, lane.next_seq++, std::move(fn)});
+}
+
+void SimDomain::deliver_staged() {
+  deliver_buf_.clear();
+  for (Lane& lane : lanes_) {
+    for (auto& inj : lane.staged) deliver_buf_.push_back(std::move(inj));
+    lane.staged.clear();
+  }
+  if (deliver_buf_.empty()) return;
+  // Total order over injections: (time, src partition, per-source seq).
+  // Target-side sequence numbers are assigned in this order, so replay is
+  // identical for any worker count.
+  std::sort(deliver_buf_.begin(), deliver_buf_.end(),
+            [](const Injection& a, const Injection& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.src != b.src) return a.src < b.src;
+              return a.seq < b.seq;
+            });
+  for (auto& inj : deliver_buf_) {
+    Simulation& target = *parts_[inj.dst];
+    REDBUD_REQUIRE(inj.at >= target.now(),
+                   "cross-partition injection behind the target clock");
+    target.call_at(inj.at, std::move(inj.fn));
+  }
+  deliver_buf_.clear();
+}
+
+void SimDomain::ensure_workers() {
+  if (!workers_.empty()) return;
+  workers_.reserve(nthreads_ - 1);
+  for (unsigned i = 1; i < nthreads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void SimDomain::work_round() {
+  for (;;) {
+    const std::uint32_t i =
+        next_part_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= parts_.size()) return;
+    parts_[i]->run_window(round_end_, round_inclusive_);
+  }
+}
+
+void SimDomain::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    detail::Backoff backoff;
+    std::uint64_t gen;
+    while ((gen = round_gen_.load(std::memory_order_acquire)) == seen) {
+      backoff.pause();
+    }
+    seen = gen;
+    if (quit_.load(std::memory_order_relaxed)) return;
+    work_round();
+    done_workers_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void SimDomain::run_round(SimTime end, bool inclusive) {
+  round_end_ = end;
+  round_inclusive_ = inclusive;
+  next_part_.store(0, std::memory_order_relaxed);
+  done_workers_.store(0, std::memory_order_relaxed);
+  round_gen_.fetch_add(1, std::memory_order_release);
+  work_round();  // the coordinator participates
+  detail::Backoff backoff;
+  const auto target = static_cast<std::uint32_t>(workers_.size());
+  while (done_workers_.load(std::memory_order_acquire) != target) {
+    backoff.pause();
+  }
+}
+
+void SimDomain::run_until(SimTime t) {
+  REDBUD_REQUIRE(!parts_.empty(), "domain has no partitions");
+  if (!parallel()) {
+    parts_[0]->run_until(t);
+    return;
+  }
+  ensure_workers();
+  for (;;) {
+    deliver_staged();
+    SimTime m = SimTime::max();
+    for (const auto& p : parts_) m = std::min(m, p->peek_next_time());
+    if (m > t) break;
+    // Window [m, m + L), or the inclusive remainder [m, t] when the
+    // horizon is nearer than the lookahead. Events at exactly t must run
+    // (run_until semantics), and any injection a final-window event posts
+    // lands at >= m + L > t — delivered by the next run_until call.
+    if (t - m < lookahead_) {
+      run_round(t, /*inclusive=*/true);
+    } else {
+      run_round(m + lookahead_, /*inclusive=*/false);
+    }
+  }
+  for (const auto& p : parts_) p->advance_to(t);
+}
+
+std::uint64_t SimDomain::events_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& p : parts_) total += p->events_processed();
+  return total;
+}
+
+std::size_t SimDomain::failure_count() const {
+  std::size_t total = 0;
+  for (const auto& p : parts_) total += p->failure_count();
+  return total;
+}
+
+void SimDomain::check_failures() const {
+  for (const auto& p : parts_) p->check_failures();
+}
+
+}  // namespace redbud::sim

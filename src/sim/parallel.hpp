@@ -1,0 +1,134 @@
+// Partitioned simulation kernel: conservative time-window parallelism.
+//
+// A SimDomain owns N Simulation partitions — one per simulated node (each
+// client host, each MDS shard, the disk array behind the fabric) — and
+// drives them from a pool of OS worker threads. Correctness rests on one
+// invariant, the *lookahead* L: any event one partition schedules into
+// another lies at least L in the simulated future (the network's minimum
+// cross-node hop — link + switch latency — or the FC fabric latency,
+// whichever is smaller). The coordinator therefore repeats:
+//
+//   1. deliver staged cross-partition injections into their target heaps,
+//   2. m  := min over partitions of peek_next_time(),
+//   3. stop if m > horizon, else run every partition concurrently through
+//      the window [m, min(m + L, horizon)) — no partition can invalidate
+//      another inside the window, because any injection it posts lands at
+//      >= m + L,
+//   4. barrier; go to 1.
+//
+// Determinism contract: within a partition events replay in exact
+// (time, seq) order — run_window() is the same merge loop as the serial
+// kernel. Cross-partition injections are sequenced by
+// (time, src_partition, src_seq) before delivery, so the target's sequence
+// numbers are assigned identically for any worker count, and a given
+// config + seed + partition count replays identically for nthreads 2, 4, 8.
+// With nthreads <= 1 the domain holds exactly one partition and delegates
+// to Simulation::run_until — byte-identical to the serial kernel.
+//
+// Threading model: only the worker that is currently running partition P
+// touches P's state; the coordinator thread touches it only between
+// rounds. The release-inc of round_gen_ / done_workers_ publishes each
+// side's writes to the other (acquire loads), which is also what makes
+// driver-side reads between run_until calls (ProcRef::done, queue depths,
+// consistency checks) race-free under TSan.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace redbud::sim {
+
+namespace detail {
+[[noreturn]] void require_failed(const char* what, const char* file, int line);
+}  // namespace detail
+
+// Always-on invariant check (not compiled out in release builds): a stale
+// cross-partition timestamp would silently corrupt the (time, seq) order,
+// so the mailbox path refuses it loudly instead.
+#define REDBUD_REQUIRE(cond, what)                                       \
+  do {                                                                   \
+    if (!(cond)) ::redbud::sim::detail::require_failed(what, __FILE__, __LINE__); \
+  } while (0)
+
+class SimDomain {
+ public:
+  // nthreads <= 1 selects the serial kernel: add_partition() returns one
+  // shared Simulation and run_until() is a plain delegation.
+  explicit SimDomain(unsigned nthreads = 1,
+                     SimTime lookahead = SimTime::micros(40));
+  SimDomain(const SimDomain&) = delete;
+  SimDomain& operator=(const SimDomain&) = delete;
+  ~SimDomain();
+
+  [[nodiscard]] bool parallel() const { return nthreads_ > 1; }
+  [[nodiscard]] unsigned nthreads() const { return nthreads_; }
+  [[nodiscard]] SimTime lookahead() const { return lookahead_; }
+
+  // Parallel domains get one fresh partition per call; a serial domain
+  // returns the same single Simulation every time, so cluster wiring can
+  // be written once for both modes.
+  Simulation& add_partition();
+  [[nodiscard]] Simulation& partition(std::size_t i) { return *parts_[i]; }
+  [[nodiscard]] std::size_t nparts() const { return parts_.size(); }
+
+  // Cross-partition event injection (the "mailbox push"). Must satisfy
+  // at >= src.now() + lookahead; checked unconditionally. `fn` runs in
+  // partition `dst` at time `at`, sequenced against all other injections
+  // by (at, src_partition, src_seq).
+  void post(Simulation& src, std::uint32_t dst, SimTime at, SmallFn fn);
+
+  // Advance every partition to exactly `t` (all partitions' now() == t on
+  // return), executing all events with time <= t.
+  void run_until(SimTime t);
+
+  // Valid between run_until calls (all partitions share the same clock).
+  [[nodiscard]] SimTime now() const { return parts_[0]->now(); }
+  [[nodiscard]] std::uint64_t events_processed() const;
+  [[nodiscard]] std::size_t failure_count() const;
+  void check_failures() const;
+
+ private:
+  struct Injection {
+    SimTime at;
+    std::uint32_t src;
+    std::uint32_t dst;
+    std::uint64_t seq;  // per-source-lane sequence, assigned at post()
+    SmallFn fn;
+  };
+  // One staging lane per source partition: during a round only the worker
+  // executing partition i appends to lanes_[i], so no locking is needed;
+  // the coordinator drains every lane between rounds.
+  struct Lane {
+    std::vector<Injection> staged;
+    std::uint64_t next_seq = 0;
+  };
+
+  void ensure_workers();
+  void deliver_staged();
+  void run_round(SimTime end, bool inclusive);
+  void work_round();
+  void worker_loop();
+
+  unsigned nthreads_;
+  SimTime lookahead_;
+  std::vector<std::unique_ptr<Simulation>> parts_;
+  std::vector<Lane> lanes_;
+  std::vector<Injection> deliver_buf_;
+
+  // Round control. round_end_/round_inclusive_ are published to workers by
+  // the release-increment of round_gen_ and read back under its acquire.
+  SimTime round_end_ = SimTime::zero();
+  bool round_inclusive_ = false;
+  std::atomic<std::uint64_t> round_gen_{0};
+  std::atomic<std::uint32_t> next_part_{0};
+  std::atomic<std::uint32_t> done_workers_{0};
+  std::atomic<bool> quit_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace redbud::sim

@@ -5,6 +5,8 @@
 
 namespace redbud::sim {
 
+thread_local std::uint32_t Simulation::tls_partition_ = 0;
+
 Simulation::~Simulation() {
   // Destroy any still-suspended frames (perpetual daemons). Locals in those
   // frames must not touch other simulation components from destructors.
@@ -22,7 +24,7 @@ ProcRef Simulation::spawn(Process p) {
   return ProcRef(p.state_);
 }
 
-void Simulation::call_at(SimTime at, std::function<void()> fn) {
+void Simulation::call_at(SimTime at, SmallFn fn) {
   assert(at >= now_ && "scheduling into the past");
   const std::uint64_t payload = detail::timer_payload(timers_.put(std::move(fn)));
   if (at == now_) {
@@ -92,6 +94,32 @@ void Simulation::run_until(SimTime t) {
   while (!stopped_ && step(t)) {
   }
   if (!stopped_ && now_ < t) now_ = t;
+}
+
+void Simulation::run_window(SimTime end, bool inclusive) {
+  tls_partition_ = partition_id_;
+  for (;;) {
+    // Ring events are timestamped now_, which is always inside the window
+    // (now_ only advances via heap events admitted below), so the ring
+    // drains unconditionally; same (time, seq) merge rule as step().
+    if (!ring_.empty()) {
+      if (!heap_.empty() && heap_.top().at == now_ &&
+          heap_.top().seq < ring_.front().seq) {
+        dispatch_payload(heap_.pop().payload);
+      } else {
+        dispatch_payload(ring_.pop().payload);
+      }
+      continue;
+    }
+    if (heap_.empty()) break;
+    const SimTime t = heap_.top().at;
+    if (inclusive ? t > end : t >= end) break;
+    const detail::HeapEvent ev = heap_.pop();
+    assert(ev.at >= now_ && "event queue went backwards in time");
+    now_ = ev.at;
+    dispatch_payload(ev.payload);
+  }
+  tls_partition_ = 0;
 }
 
 void Simulation::on_process_done(Process::Handle h) {

@@ -15,14 +15,16 @@
 #include <cassert>
 #include <coroutine>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "sim/event_heap.hpp"
 #include "sim/process.hpp"
+#include "sim/small_fn.hpp"
 #include "sim/time.hpp"
 
 namespace redbud::sim {
+
+class SimDomain;
 
 class Simulation {
  public:
@@ -75,9 +77,10 @@ class Simulation {
     ring_.push({next_seq_++, detail::coro_payload(h)});
   }
 
-  // Schedule a plain callback (timer) — used sparingly, e.g. by samplers.
-  void call_at(SimTime at, std::function<void()> fn);
-  void call_in(SimTime after, std::function<void()> fn) {
+  // Schedule a plain callback (timer). Captures up to SmallFn::kInlineBytes
+  // are stored in the timer slab itself — no heap allocation.
+  void call_at(SimTime at, SmallFn fn);
+  void call_in(SimTime after, SmallFn fn) {
     call_at(now_ + after, std::move(fn));
   }
 
@@ -92,8 +95,41 @@ class Simulation {
   }
   [[nodiscard]] std::size_t live_processes() const { return live_.size(); }
 
+  // ---- Partitioned-kernel interface (see sim/parallel.hpp) --------------
+  //
+  // A Simulation that is one partition of a SimDomain is driven through
+  // run_window() instead of run_until(); the domain advances all partitions
+  // in conservative time windows bounded by the network lookahead.
+
+  // Identity of this partition within its domain (0 for a standalone sim).
+  [[nodiscard]] std::uint32_t partition_id() const { return partition_id_; }
+  // The partition the calling thread is currently executing, for
+  // per-partition routing of observability state. 0 outside run_window.
+  [[nodiscard]] static std::uint32_t current_partition() {
+    return tls_partition_;
+  }
+
+  // Earliest pending event time: `now()` if the ready ring is non-empty,
+  // else the heap minimum, else SimTime::max().
+  [[nodiscard]] SimTime peek_next_time() const {
+    if (!ring_.empty()) return now_;
+    if (!heap_.empty()) return heap_.top().at;
+    return SimTime::max();
+  }
+
+  // Execute every event with time < end (or <= end when `inclusive`), in
+  // exact (time, seq) order, then return. Does not advance now() past the
+  // last executed event; the domain calls advance_to() at the window end.
+  void run_window(SimTime end, bool inclusive);
+
+  // Move the clock forward to `t` without executing anything.
+  void advance_to(SimTime t) {
+    if (now_ < t) now_ = t;
+  }
+
  private:
   friend struct Process::FinalAwaiter;
+  friend class SimDomain;
 
   void on_process_done(Process::Handle h);
   // Dispatch one event whose time is <= limit; false when none remain.
@@ -102,6 +138,8 @@ class Simulation {
   void drain_retired();
 
   SimTime now_ = SimTime::zero();
+  std::uint32_t partition_id_ = 0;
+  static thread_local std::uint32_t tls_partition_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   bool stopped_ = false;

@@ -50,6 +50,16 @@ SimTime LatencyHistogram::percentile(double p) const {
   return max_;
 }
 
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ns_ += other.sum_ns_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 void LatencyHistogram::reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;

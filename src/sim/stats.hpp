@@ -14,6 +14,9 @@ namespace redbud::sim {
 class Counter {
  public:
   void add(std::uint64_t n = 1) { value_ += n; }
+  // Fold another counter in — used to combine per-partition instruments
+  // after a partitioned run.
+  void merge(const Counter& other) { value_ += other.value_; }
   [[nodiscard]] std::uint64_t value() const { return value_; }
   [[nodiscard]] double rate_per_second(SimTime elapsed) const {
     return elapsed == SimTime::zero() ? 0.0 : double(value_) / elapsed.to_seconds();
@@ -37,6 +40,10 @@ class LatencyHistogram {
   LatencyHistogram();
 
   void record(SimTime latency);
+  // Fold another histogram in (bucket-wise sum, exact sum/count/min/max).
+  // Merging then reading percentiles is equivalent to having recorded
+  // every observation into one histogram.
+  void merge(const LatencyHistogram& other);
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] SimTime mean() const;
   [[nodiscard]] SimTime percentile(double p) const;  // p in (0, 100)
@@ -107,6 +114,10 @@ class ThroughputMeter {
  public:
   void add_bytes(std::uint64_t b) { bytes_ += b; }
   void add_ops(std::uint64_t n = 1) { ops_ += n; }
+  void merge(const ThroughputMeter& other) {
+    bytes_ += other.bytes_;
+    ops_ += other.ops_;
+  }
   [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
   [[nodiscard]] std::uint64_t ops() const { return ops_; }
   [[nodiscard]] double mb_per_second(SimTime elapsed) const {

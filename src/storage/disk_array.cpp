@@ -1,6 +1,7 @@
 #include "storage/disk_array.hpp"
 
 #include <cassert>
+#include <utility>
 
 namespace redbud::storage {
 
@@ -8,6 +9,7 @@ using redbud::sim::Done;
 using redbud::sim::Process;
 using redbud::sim::SimFuture;
 using redbud::sim::SimPromise;
+using redbud::sim::SimTime;
 
 ContentToken make_token(std::uint64_t file_id, std::uint64_t block_in_file,
                         std::uint64_t version) {
@@ -70,12 +72,92 @@ SimFuture<Done> DiskArray::write(PhysAddr addr, std::uint32_t nblocks,
   return fut;
 }
 
+SimFuture<Done> DiskArray::write(redbud::sim::Simulation& issuer,
+                                 PhysAddr addr, std::uint32_t nblocks,
+                                 std::vector<ContentToken> tokens) {
+  if (!parallel()) return write(addr, nblocks, std::move(tokens));
+  assert(addr.device < disks_.size());
+  assert(tokens.size() == nblocks);
+  SimPromise<Done> p(issuer);
+  auto fut = p.future();
+  // Command/payload hop to the array: one FC propagation delay, which is
+  // >= the domain lookahead, so the arrival is a legal mailbox injection.
+  // Payload serialization on the shared fabric pipe happens at the array.
+  domain_->post(
+      issuer, sim_->partition_id(), issuer.now() + params_.fc_latency,
+      [this, addr, nblocks, toks = std::move(tokens), p,
+       ipart = issuer.partition_id()]() mutable {
+        sim_->spawn(
+            write_arrival_proc(addr, nblocks, std::move(toks), std::move(p),
+                               ipart));
+      });
+  return fut;
+}
+
+Process DiskArray::write_arrival_proc(PhysAddr addr, std::uint32_t nblocks,
+                                      std::vector<ContentToken> tokens,
+                                      SimPromise<Done> p,
+                                      std::uint32_t issuer_partition) {
+  // Serialize the payload on the shared fabric pipe. enqueue() reports the
+  // far-end arrival; propagation was already paid on the request hop, so
+  // strip the latency term to get the transmit-complete instant.
+  const std::size_t bytes = std::size_t(nblocks) * kBlockSize;
+  const SimTime tx_done = fc_->enqueue(bytes) - fc_->latency();
+  if (tx_done > sim_->now()) co_await sim_->delay(tx_done - sim_->now());
+  auto io = schedulers_[addr.device]->submit(IoKind::kWrite, addr.block,
+                                             nblocks, std::move(tokens));
+  co_await io;
+  // Durable-ack hop back to the issuer's partition.
+  domain_->post(*sim_, issuer_partition, sim_->now() + params_.fc_latency,
+                [p]() mutable { p.set_value(Done{}); });
+}
+
 SimFuture<Done> DiskArray::read(PhysAddr addr, std::uint32_t nblocks) {
   assert(addr.device < disks_.size());
   SimPromise<Done> p(*sim_);
   auto fut = p.future();
   sim_->spawn(read_proc(addr, nblocks, std::move(p)));
   return fut;
+}
+
+SimFuture<std::vector<ContentToken>> DiskArray::read_tokens(
+    redbud::sim::Simulation& issuer, PhysAddr addr, std::uint32_t nblocks) {
+  assert(addr.device < disks_.size());
+  SimPromise<std::vector<ContentToken>> p(issuer);
+  auto fut = p.future();
+  if (!parallel()) {
+    // Same event pattern as read(); the tokens are captured at completion
+    // instead of peeked afterwards by the caller.
+    sim_->spawn(read_tokens_proc(addr, nblocks, std::move(p)));
+    return fut;
+  }
+  domain_->post(
+      issuer, sim_->partition_id(), issuer.now() + params_.fc_latency,
+      [this, addr, nblocks, p, ipart = issuer.partition_id()]() mutable {
+        sim_->spawn(read_arrival_proc(addr, nblocks, std::move(p), ipart));
+      });
+  return fut;
+}
+
+Process DiskArray::read_tokens_proc(PhysAddr addr, std::uint32_t nblocks,
+                                    SimPromise<std::vector<ContentToken>> p) {
+  co_await schedulers_[addr.device]->submit(IoKind::kRead, addr.block, nblocks);
+  co_await fc_->transfer(std::size_t(nblocks) * kBlockSize);
+  p.set_value(disks_[addr.device]->load(addr.block, nblocks));
+}
+
+Process DiskArray::read_arrival_proc(PhysAddr addr, std::uint32_t nblocks,
+                                     SimPromise<std::vector<ContentToken>> p,
+                                     std::uint32_t issuer_partition) {
+  auto io = schedulers_[addr.device]->submit(IoKind::kRead, addr.block, nblocks);
+  co_await io;
+  auto tokens = disks_[addr.device]->load(addr.block, nblocks);
+  const SimTime tx_done =
+      fc_->enqueue(std::size_t(nblocks) * kBlockSize) - fc_->latency();
+  domain_->post(*sim_, issuer_partition, tx_done + params_.fc_latency,
+                [p, toks = std::move(tokens)]() mutable {
+                  p.set_value(std::move(toks));
+                });
 }
 
 std::vector<ContentToken> DiskArray::peek(PhysAddr addr,

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sim/future.hpp"
+#include "sim/parallel.hpp"
 #include "sim/pipe.hpp"
 #include "sim/simulation.hpp"
 #include "storage/disk.hpp"
@@ -39,15 +40,33 @@ class DiskArray {
   // Spawn per-device dispatch daemons. Call once before any I/O.
   void start();
 
+  // Attach the partitioned domain (parallel clusters only). The array and
+  // its schedulers live in `sim_`'s partition; cross-partition issuers
+  // reach it through timestamped FC-latency mailbox hops.
+  void bind_domain(redbud::sim::SimDomain* domain) { domain_ = domain; }
+  [[nodiscard]] bool parallel() const {
+    return domain_ != nullptr && domain_->parallel();
+  }
+
   // Data-path write: FC transfer of the payload, then the device write.
   // Resolves when the blocks are durable on the platter.
   [[nodiscard]] redbud::sim::SimFuture<redbud::sim::Done> write(
       PhysAddr addr, std::uint32_t nblocks, std::vector<ContentToken> tokens);
+  // Partition-aware variant: the completion resolves in `issuer`'s
+  // partition. Serially identical to write() above.
+  [[nodiscard]] redbud::sim::SimFuture<redbud::sim::Done> write(
+      redbud::sim::Simulation& issuer, PhysAddr addr, std::uint32_t nblocks,
+      std::vector<ContentToken> tokens);
 
   // Data-path read: device read, then FC transfer back. Fetch the tokens
   // with peek() after the future resolves.
   [[nodiscard]] redbud::sim::SimFuture<redbud::sim::Done> read(
       PhysAddr addr, std::uint32_t nblocks);
+  // Partition-aware read: resolves in `issuer`'s partition with the block
+  // tokens captured at read completion (a cross-partition issuer cannot
+  // peek() the device from its own thread).
+  [[nodiscard]] redbud::sim::SimFuture<std::vector<ContentToken>> read_tokens(
+      redbud::sim::Simulation& issuer, PhysAddr addr, std::uint32_t nblocks);
 
   // Durable content inspection (used by reads after completion, by the
   // crash-consistency checker, and by tests).
@@ -80,8 +99,20 @@ class DiskArray {
                                   redbud::sim::SimPromise<redbud::sim::Done> p);
   redbud::sim::Process read_proc(PhysAddr addr, std::uint32_t nblocks,
                                  redbud::sim::SimPromise<redbud::sim::Done> p);
+  redbud::sim::Process read_tokens_proc(
+      PhysAddr addr, std::uint32_t nblocks,
+      redbud::sim::SimPromise<std::vector<ContentToken>> p);
+  redbud::sim::Process write_arrival_proc(
+      PhysAddr addr, std::uint32_t nblocks, std::vector<ContentToken> tokens,
+      redbud::sim::SimPromise<redbud::sim::Done> p,
+      std::uint32_t issuer_partition);
+  redbud::sim::Process read_arrival_proc(
+      PhysAddr addr, std::uint32_t nblocks,
+      redbud::sim::SimPromise<std::vector<ContentToken>> p,
+      std::uint32_t issuer_partition);
 
   redbud::sim::Simulation* sim_;
+  redbud::sim::SimDomain* domain_ = nullptr;
   ArrayParams params_;
   std::vector<std::unique_ptr<Disk>> disks_;
   std::vector<std::unique_ptr<IoScheduler>> schedulers_;

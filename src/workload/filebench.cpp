@@ -156,6 +156,10 @@ Process populate(Simulation& sim, fsapi::FsClient& fs, Fileset& set,
 FileserverWorkload::FileserverWorkload(FilebenchParams params)
     : params_(params) {}
 
+void FileserverWorkload::presize(std::uint32_t nclients) {
+  if (nclients > 0) set_for(nclients - 1);
+}
+
 Fileset& FileserverWorkload::set_for(std::uint32_t client_id) {
   while (sets_.size() <= client_id) {
     sets_.push_back(
@@ -245,6 +249,10 @@ Process FileserverWorkload::thread(Simulation& sim, fsapi::FsClient& fs,
 // ---------------------------------------------------------------------------
 
 VarmailWorkload::VarmailWorkload(FilebenchParams params) : params_(params) {}
+
+void VarmailWorkload::presize(std::uint32_t nclients) {
+  if (nclients > 0) set_for(nclients - 1);
+}
 
 Fileset& VarmailWorkload::set_for(std::uint32_t client_id) {
   while (sets_.size() <= client_id) {
@@ -340,6 +348,10 @@ Process VarmailWorkload::thread(Simulation& sim, fsapi::FsClient& fs,
 
 WebproxyWorkload::WebproxyWorkload(FilebenchParams params)
     : params_(params) {}
+
+void WebproxyWorkload::presize(std::uint32_t nclients) {
+  if (nclients > 0) set_for(nclients - 1);
+}
 
 Fileset& WebproxyWorkload::set_for(std::uint32_t client_id) {
   while (sets_.size() <= client_id) {

@@ -81,6 +81,7 @@ class FileserverWorkload final : public Workload {
   [[nodiscard]] std::uint32_t threads_per_client() const override {
     return params_.threads_per_client;
   }
+  void presize(std::uint32_t nclients) override;
   redbud::sim::Process prepare(redbud::sim::Simulation&, fsapi::FsClient&,
                                std::uint32_t, WorkloadContext&) override;
   redbud::sim::Process thread(redbud::sim::Simulation&, fsapi::FsClient&,
@@ -111,6 +112,7 @@ class VarmailWorkload final : public Workload {
   [[nodiscard]] std::uint32_t threads_per_client() const override {
     return params_.threads_per_client;
   }
+  void presize(std::uint32_t nclients) override;
   redbud::sim::Process prepare(redbud::sim::Simulation&, fsapi::FsClient&,
                                std::uint32_t, WorkloadContext&) override;
   redbud::sim::Process thread(redbud::sim::Simulation&, fsapi::FsClient&,
@@ -140,6 +142,7 @@ class WebproxyWorkload final : public Workload {
   [[nodiscard]] std::uint32_t threads_per_client() const override {
     return params_.threads_per_client;
   }
+  void presize(std::uint32_t nclients) override;
   redbud::sim::Process prepare(redbud::sim::Simulation&, fsapi::FsClient&,
                                std::uint32_t, WorkloadContext&) override;
   redbud::sim::Process thread(redbud::sim::Simulation&, fsapi::FsClient&,

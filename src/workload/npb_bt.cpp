@@ -11,6 +11,10 @@ using redbud::sim::Simulation;
 
 NpbBtWorkload::NpbBtWorkload(NpbBtParams params) : params_(params) {}
 
+void NpbBtWorkload::presize(std::uint32_t nclients) {
+  if (nclients > 0) state_for(nclients - 1);
+}
+
 NpbBtWorkload::ClientState& NpbBtWorkload::state_for(
     std::uint32_t client_id) {
   while (states_.size() <= client_id) {

@@ -37,6 +37,7 @@ class NpbBtWorkload final : public Workload {
     return params_.ranks_per_client;
   }
   [[nodiscard]] bool fixed_work() const override { return true; }
+  void presize(std::uint32_t nclients) override;
 
   redbud::sim::Process prepare(redbud::sim::Simulation&, fsapi::FsClient&,
                                std::uint32_t, WorkloadContext&) override;

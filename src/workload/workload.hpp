@@ -16,9 +16,14 @@
 
 namespace redbud::workload {
 
-// Shared mutable state for one workload run.
+// Shared mutable state for one workload run. The serial driver uses one
+// context for every client; the partitioned driver gives each client host
+// its own slot (with an independent RNG stream split from the master
+// seed) so workload threads never share mutable state across partitions,
+// then merges the slots into one result.
 struct WorkloadContext {
   explicit WorkloadContext(std::uint64_t seed) : master_rng(seed) {}
+  explicit WorkloadContext(redbud::sim::Rng rng) : master_rng(rng) {}
 
   redbud::sim::Rng master_rng;
   bool stop = false;
@@ -31,6 +36,10 @@ struct WorkloadContext {
     void reset() {
       count.reset();
       latency.reset();
+    }
+    void merge(const OpClass& other) {
+      count.merge(other.count);
+      latency.merge(other.latency);
     }
   };
 
@@ -66,6 +75,18 @@ struct WorkloadContext {
     data = {};
     op_latency.reset();
   }
+  // Fold another slot's measured-window statistics into this one.
+  void merge_stats(const WorkloadContext& other) {
+    ops.merge(other.ops);
+    read_ops.merge(other.read_ops);
+    write_ops.merge(other.write_ops);
+    meta_ops.merge(other.meta_ops);
+    fsync_ops.merge(other.fsync_ops);
+    data.merge(other.data);
+    op_latency.merge(other.op_latency);
+    verify_failures += other.verify_failures;
+    op_errors += other.op_errors;
+  }
 };
 
 class Workload {
@@ -77,6 +98,13 @@ class Workload {
   // Fixed-work benchmarks (NPB BT) run to completion; time-driven ones
   // loop until ctx.stop.
   [[nodiscard]] virtual bool fixed_work() const { return false; }
+
+  // Pre-grow any lazily-sized shared containers to their full `nclients`
+  // extent. The partitioned driver calls this before spawning anything so
+  // client threads running on different partitions never reallocate a
+  // shared vector concurrently; per-element state stays owned by one
+  // client. Serial runs never call it. Default: nothing shared, no-op.
+  virtual void presize(std::uint32_t nclients) { (void)nclients; }
 
   // Per-client preparation (populate filesets). Runs before measurement.
   virtual redbud::sim::Process prepare(redbud::sim::Simulation& sim,

@@ -18,6 +18,10 @@ std::string XcdnWorkload::name() const {
                     : "xcdn-" + std::to_string(kb) + "KB";
 }
 
+void XcdnWorkload::presize(std::uint32_t nclients) {
+  if (nclients > 0) state_for(nclients - 1);
+}
+
 XcdnWorkload::ClientState& XcdnWorkload::state_for(std::uint32_t client_id) {
   while (states_.size() <= client_id) {
     states_.push_back(std::make_unique<ClientState>());

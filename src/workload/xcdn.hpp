@@ -35,6 +35,7 @@ class XcdnWorkload final : public Workload {
   [[nodiscard]] std::uint32_t threads_per_client() const override {
     return params_.threads_per_client;
   }
+  void presize(std::uint32_t nclients) override;
   redbud::sim::Process prepare(redbud::sim::Simulation&, fsapi::FsClient&,
                                std::uint32_t, WorkloadContext&) override;
   redbud::sim::Process thread(redbud::sim::Simulation&, fsapi::FsClient&,
