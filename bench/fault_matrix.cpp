@@ -1,0 +1,342 @@
+// Fault scenario matrix: fault kind x intensity x shard count.
+//
+// Every cell builds a delayed-commit cluster with the RPC retry path on,
+// replays a seed-derived FaultSchedule against it while a fileserver-style
+// churn runs, then checks the two properties the fault subsystem promises:
+//
+//  1. Correctness is absolute: the whole-cluster ordered-writes check
+//     passes on EVERY cell, every fault clears, every crashed shard fails
+//     over, and no operation exhausts its retry budget — no matter the
+//     fault kind or intensity.
+//  2. Degradation is bounded: client-observed fsync p99 and commit-RPC
+//     p99 may grow under faults, but only within a per-kind factor of the
+//     same-topology fault-free baseline cell. The bounds are calibrated
+//     from measured runs (see EXPERIMENTS.md) with headroom, so a
+//     regression that, say, makes the retry ladder restart from scratch
+//     after failover shows up as a matrix failure, not a silent slowdown.
+//
+// Results land in bench_out/BENCH_faults.json (schema:
+// schemas/bench_faults.schema.json). --smoke runs the reduced grid the CI
+// job uses; --threads N drives every cell under the partitioned kernel.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common.hpp"
+#include "core/recovery.hpp"
+#include "fault/injector.hpp"
+#include "fault/schedule.hpp"
+#include "sim/random.hpp"
+
+using namespace redbud;
+using core::Cluster;
+using core::ClusterParams;
+using fault::FaultInjector;
+using fault::FaultKind;
+using fault::FaultSchedule;
+using fault::FaultScheduleParams;
+using net::Status;
+using redbud::sim::LatencyHistogram;
+using redbud::sim::Process;
+using redbud::sim::Rng;
+using redbud::sim::SimTime;
+using redbud::sim::Simulation;
+
+namespace {
+
+constexpr std::uint64_t kScheduleSeed = 2026;
+
+struct CellSpec {
+  const char* fault;      // "none" | "slow_disk" | "lossy_link" | "shard_crash"
+  const char* intensity;  // "base" | "mild" | "harsh"
+  std::uint32_t nshards;
+  // Degradation ceilings vs the same-topology baseline cell, calibrated
+  // from measured runs with ~2x headroom (EXPERIMENTS.md has the raw
+  // numbers). A fault-free baseline bounds itself at 1.0 by definition.
+  double fsync_bound;
+  double commit_bound;
+};
+
+struct CellResult {
+  CellSpec spec;
+  std::uint64_t ops = 0;
+  std::uint64_t op_failures = 0;
+  double fsync_p99_us = 0.0;
+  double fsync_mean_us = 0.0;
+  double commit_p99_us = 0.0;
+  double fsync_degradation = 1.0;
+  double commit_degradation = 1.0;
+  bool within_bound = true;
+  std::uint64_t drops = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t failovers = 0;
+  double failover_mean_us = 0.0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t faults_cleared = 0;
+  bool faults_all_cleared = false;
+  bool consistent = false;
+};
+
+ClusterParams cell_cluster(std::uint32_t nshards, std::uint32_t nthreads) {
+  ClusterParams p;
+  p.nclients = 4;
+  p.nshards = nshards;
+  p.nthreads = nthreads;
+  p.array.ndisks = 4;
+  p.array.disk.total_blocks = 1 << 20;
+  p.metadata_disk.total_blocks = 1 << 20;
+  p.journal.region_blocks = 1 << 16;
+  p.client.mode = client::CommitMode::kDelayed;
+  p.client.chunk_blocks = 1024;
+  p.client.rpc_retry = true;
+  return p;
+}
+
+// The schedule for one cell. Faults land inside [40ms, 400ms); the churn
+// straddles the whole window and the drain phase runs long past it.
+FaultScheduleParams cell_faults(const CellSpec& c) {
+  FaultScheduleParams fp;
+  fp.seed = kScheduleSeed;
+  fp.window_start = SimTime::millis(40);
+  fp.window_end = SimTime::millis(400);
+  const bool harsh = std::string_view(c.intensity) == "harsh";
+  if (std::string_view(c.fault) == "slow_disk") {
+    fp.slow_disks = harsh ? 4 : 2;
+    fp.min_slow = harsh ? 8.0 : 2.0;
+    fp.max_slow = harsh ? 16.0 : 4.0;
+    fp.min_duration = SimTime::millis(harsh ? 60 : 30);
+    fp.max_duration = SimTime::millis(harsh ? 120 : 60);
+  } else if (std::string_view(c.fault) == "lossy_link") {
+    fp.lossy_links = harsh ? 4 : 2;
+    fp.min_loss = harsh ? 0.25 : 0.05;
+    fp.max_loss = harsh ? 0.40 : 0.15;
+    fp.link_partitions = harsh ? 1 : 0;
+    fp.min_duration = SimTime::millis(harsh ? 60 : 30);
+    fp.max_duration = SimTime::millis(harsh ? 120 : 60);
+  } else if (std::string_view(c.fault) == "shard_crash") {
+    fp.shard_crashes = harsh ? 2 : 1;  // generate() caps at nshards
+    // duration is the crash-detection delay before failover starts.
+    fp.min_duration = SimTime::millis(harsh ? 50 : 20);
+    fp.max_duration = SimTime::millis(harsh ? 90 : 50);
+  }
+  return fp;
+}
+
+// Fileserver-style churn: create / write / fsync per file, with the fsync
+// completion latency recorded client-side. One histogram per client —
+// partitions run on distinct workers under --threads, so no sharing.
+Process churn(Simulation& sim, client::ClientFs& fs, std::uint32_t client_id,
+              int nfiles, LatencyHistogram* fsync_lat, std::uint64_t* ops,
+              std::uint64_t* failures) {
+  Rng rng(9100 + client_id);
+  co_await sim.delay(SimTime::micros(173 * client_id));
+  for (int i = 0; i < nfiles; ++i) {
+    const std::string name =
+        "m_c" + std::to_string(client_id) + "_f" + std::to_string(i);
+    auto cfut = fs.create(net::kRootDir, name);
+    const net::FileId id = co_await cfut;
+    if (id == net::kInvalidFile) {
+      ++*failures;
+      continue;
+    }
+    ++*ops;
+    const std::uint32_t nbytes =
+        4096 * (1 + static_cast<std::uint32_t>(rng.next_below(8)));
+    auto wfut = fs.write(id, 0, nbytes);
+    if (co_await wfut != Status::kOk) ++*failures;
+    ++*ops;
+    const SimTime t0 = sim.now();
+    auto sfut = fs.fsync(id);
+    if (co_await sfut == Status::kOk) {
+      fsync_lat->record(sim.now() - t0);
+      ++*ops;
+    } else {
+      ++*failures;
+    }
+    co_await sim.delay(SimTime::micros(500 + rng.next_below(3000)));
+  }
+}
+
+CellResult run_cell(const CellSpec& spec, std::uint32_t nthreads, bool smoke) {
+  CellResult r;
+  r.spec = spec;
+  Cluster c(cell_cluster(spec.nshards, nthreads));
+  const auto& cp = c.params();
+  FaultSchedule sched = FaultSchedule::generate(
+      cell_faults(spec), cp.array.ndisks, cp.nclients, cp.nshards);
+  FaultInjector inj(c, std::move(sched));
+  inj.register_metrics();
+  if (!inj.schedule().empty()) inj.arm();
+  c.start();
+
+  const int nfiles = smoke ? 10 : 40;
+  std::vector<LatencyHistogram> fsync_lat(c.nclients());
+  std::vector<std::uint64_t> ops(c.nclients(), 0);
+  std::vector<std::uint64_t> failures(c.nclients(), 0);
+  std::vector<redbud::sim::ProcRef> refs;
+  for (std::size_t i = 0; i < c.nclients(); ++i) {
+    Simulation& csim = c.client_sim(i);
+    refs.push_back(csim.spawn(churn(csim, c.client(i),
+                                    static_cast<std::uint32_t>(i), nfiles,
+                                    &fsync_lat[i], &ops[i], &failures[i])));
+  }
+  c.run_until(SimTime::seconds(smoke ? 2 : 4));
+  c.check_failures();
+  for (const auto& ref : refs) {
+    if (!ref.done()) ++r.op_failures;  // a stuck churn is a failure too
+  }
+
+  // Drain requeued/queued commit batches before the consistency check.
+  for (int spin = 0; spin < 500; ++spin) {
+    std::size_t pending = 0;
+    for (std::size_t ci = 0; ci < c.nclients(); ++ci) {
+      auto& q = c.client(ci).commit_queue();
+      pending += q.size() + q.in_flight();
+    }
+    if (pending == 0) break;
+    c.run_until(c.now() + SimTime::millis(20));
+  }
+
+  LatencyHistogram fsync_all;
+  LatencyHistogram commit_all;
+  for (std::size_t i = 0; i < c.nclients(); ++i) {
+    fsync_all.merge(fsync_lat[i]);
+    r.ops += ops[i];
+    r.op_failures += failures[i];
+    const auto& stats = c.client(i).endpoint().op_stats();
+    if (const auto it = stats.find("commit"); it != stats.end()) {
+      commit_all.merge(it->second.rtt);
+    }
+  }
+  r.fsync_p99_us = fsync_all.percentile(99).to_micros();
+  r.fsync_mean_us = fsync_all.mean().to_micros();
+  r.commit_p99_us = commit_all.percentile(99).to_micros();
+  r.drops = c.network().messages_dropped();
+  r.crashes = c.shard_crashes();
+  r.failovers = c.failovers_completed();
+  if (c.failover_time().count() > 0) {
+    r.failover_mean_us = c.failover_time().mean().to_micros();
+  }
+  r.faults_injected = inj.total_injected();
+  r.faults_cleared = inj.total_cleared();
+  bool shards_up = true;
+  for (std::uint32_t s = 0; s < c.nshards(); ++s) {
+    shards_up = shards_up && !c.shard_crashed(s);
+  }
+  r.faults_all_cleared = r.faults_injected == inj.schedule().size() &&
+                         r.faults_cleared == inj.schedule().size() &&
+                         r.failovers == r.crashes && shards_up;
+  r.consistent = core::check_consistency(c).consistent();
+  return r;
+}
+
+void write_faults_json(const std::vector<CellResult>& cells,
+                       std::uint32_t nthreads, bool smoke) {
+  std::filesystem::create_directories("bench_out");
+  std::ofstream out("bench_out/BENCH_faults.json", std::ios::trunc);
+  out << "{\n  \"smoke\": " << (smoke ? "true" : "false")
+      << ",\n  \"nthreads\": " << nthreads << ",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& r = cells[i];
+    out << "    {\"fault\": \"" << r.spec.fault << "\", \"intensity\": \""
+        << r.spec.intensity << "\", \"nshards\": " << r.spec.nshards
+        << ", \"ops\": " << r.ops << ", \"op_failures\": " << r.op_failures
+        << ", \"fsync_p99_us\": " << r.fsync_p99_us
+        << ", \"fsync_mean_us\": " << r.fsync_mean_us
+        << ", \"commit_p99_us\": " << r.commit_p99_us
+        << ", \"fsync_degradation\": " << r.fsync_degradation
+        << ", \"commit_degradation\": " << r.commit_degradation
+        << ", \"fsync_bound\": " << r.spec.fsync_bound
+        << ", \"commit_bound\": " << r.spec.commit_bound
+        << ", \"within_bound\": " << (r.within_bound ? "true" : "false")
+        << ", \"drops\": " << r.drops << ", \"crashes\": " << r.crashes
+        << ", \"failovers\": " << r.failovers
+        << ", \"failover_mean_us\": " << r.failover_mean_us
+        << ", \"faults_injected\": " << r.faults_injected
+        << ", \"faults_cleared\": " << r.faults_cleared
+        << ", \"consistent\": " << (r.consistent ? "true" : "false") << "}"
+        << (i + 1 < cells.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") smoke = true;
+  }
+  const std::uint32_t nthreads = bench::parse_threads(argc, argv, 1);
+  core::print_banner(
+      std::cout, "Fault scenario matrix",
+      smoke ? "reduced CI grid: fault kind x intensity, 2 shards"
+            : "fault kind x intensity x shard count; consistency + bounded "
+              "degradation on every cell");
+
+  // One baseline + six fault cells per topology. Bounds are vs the
+  // same-topology baseline; see EXPERIMENTS.md for the measured runs they
+  // were calibrated from.
+  const std::vector<std::uint32_t> shard_counts =
+      smoke ? std::vector<std::uint32_t>{2}
+            : std::vector<std::uint32_t>{1, 2, 4};
+  std::vector<CellSpec> grid;
+  for (const std::uint32_t n : shard_counts) {
+    grid.push_back({"none", "base", n, 1.0, 1.0});
+    grid.push_back({"slow_disk", "mild", n, 4.0, 2.0});
+    grid.push_back({"slow_disk", "harsh", n, 12.0, 2.0});
+    grid.push_back({"lossy_link", "mild", n, 3.0, 3.0});
+    grid.push_back({"lossy_link", "harsh", n, 4.0, 5.0});
+    grid.push_back({"shard_crash", "mild", n, 4.0, 3.0});
+    grid.push_back({"shard_crash", "harsh", n, 6.0, 3.0});
+  }
+
+  std::vector<CellResult> cells;
+  std::map<std::uint32_t, CellResult> baselines;  // nshards -> "none" cell
+  bool ok = true;
+  for (const CellSpec& spec : grid) {
+    CellResult r = run_cell(spec, nthreads, smoke);
+    if (std::string_view(spec.fault) == "none") {
+      baselines[spec.nshards] = r;
+      r.within_bound = true;
+    } else {
+      const CellResult& base = baselines.at(spec.nshards);
+      r.fsync_degradation =
+          base.fsync_p99_us > 0 ? r.fsync_p99_us / base.fsync_p99_us : 0.0;
+      r.commit_degradation =
+          base.commit_p99_us > 0 ? r.commit_p99_us / base.commit_p99_us : 0.0;
+      r.within_bound = r.fsync_degradation <= spec.fsync_bound &&
+                       r.commit_degradation <= spec.commit_bound;
+    }
+    ok = ok && r.consistent && r.within_bound && r.faults_all_cleared &&
+         r.op_failures == 0 && r.ops > 0;
+    cells.push_back(std::move(r));
+  }
+  write_faults_json(cells, nthreads, smoke);
+
+  core::Table table({"fault", "intensity", "shards", "ops", "fsync p99 us",
+                     "commit p99 us", "x base (f/c)", "drops", "failover",
+                     "consistent", "bounded"});
+  for (const CellResult& r : cells) {
+    table.add_row(
+        {r.spec.fault, r.spec.intensity, std::to_string(r.spec.nshards),
+         std::to_string(r.ops), core::Table::fmt(r.fsync_p99_us, 0),
+         core::Table::fmt(r.commit_p99_us, 0),
+         core::Table::fmt(r.fsync_degradation, 1) + "/" +
+             core::Table::fmt(r.commit_degradation, 1),
+         std::to_string(r.drops),
+         std::to_string(r.failovers) + "/" + std::to_string(r.crashes),
+         r.consistent ? "yes" : "NO", r.within_bound ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::cout << "fault matrix: " << cells.size() << " cells, "
+            << (ok ? "all consistent, degradation within bounds"
+                   : "FAILURES DETECTED")
+            << "\n";
+  return ok ? 0 : 1;
+}

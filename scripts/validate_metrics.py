@@ -1,12 +1,13 @@
 #!/usr/bin/env python3
-"""Validate a metrics.json artifact against schemas/metrics.schema.json.
+"""Validate a bench_out JSON artifact against a checked-in schema.
 
-Stdlib-only: implements the small JSON-Schema subset the checked-in schema
-uses (type, enum, required, properties, additionalProperties, items,
-minimum, $ref into #/definitions). CI runs this against the traced
-mds_scaling run's bench_out/metrics.json.
+Stdlib-only: implements the small JSON-Schema subset the checked-in
+schemas use (type, enum, required, properties, additionalProperties,
+items, minimum, $ref into #/definitions). CI runs this against the traced
+mds_scaling run's bench_out/metrics.json and the fault matrix's
+bench_out/BENCH_faults.json.
 
-Usage: validate_metrics.py <schema.json> <metrics.json>
+Usage: validate_metrics.py <schema.json> <artifact.json>
 """
 import json
 import sys
@@ -90,11 +91,15 @@ def main(argv):
     except ValidationError as e:
         print(f"INVALID {argv[2]}: {e}", file=sys.stderr)
         return 1
-    n_stages = len(doc.get("stages", []))
-    n_metrics = len(doc.get("counters", {})) + len(doc.get("gauges", {})) \
-        + len(doc.get("histograms", {}))
-    print(f"OK {argv[2]}: {n_metrics} metrics, {n_stages} stage entries, "
-          f"{doc['spans']['recorded']} spans recorded")
+    if "cells" in doc:  # fault matrix artifact
+        summary = f"{len(doc['cells'])} matrix cells"
+    else:  # metrics snapshot artifact
+        n_stages = len(doc.get("stages", []))
+        n_metrics = len(doc.get("counters", {})) + len(doc.get("gauges", {})) \
+            + len(doc.get("histograms", {}))
+        summary = (f"{n_metrics} metrics, {n_stages} stage entries, "
+                   f"{doc.get('spans', {}).get('recorded', 0)} spans recorded")
+    print(f"OK {argv[2]}: {summary}")
     return 0
 
 

@@ -26,6 +26,15 @@ BlockRange block_range(std::uint64_t offset, std::uint32_t nbytes) {
 }
 }  // namespace
 
+CommitPoolParams ClientFs::pool_params(const ClientFsParams& p) {
+  CommitPoolParams out = p.pool;
+  if (p.rpc_retry) {
+    out.rpc_retry = true;
+    out.retry = p.retry;
+  }
+  return out;
+}
+
 ClientFs::ClientFs(redbud::sim::Simulation& sim, net::Network& network,
                    const core::ShardMap& smap,
                    std::vector<net::RpcEndpoint*> mds_shards,
@@ -42,7 +51,7 @@ ClientFs::ClientFs(redbud::sim::Simulation& sim, net::Network& network,
       queue_(sim),
       compound_(params.compound, smap.nshards()),
       pool_daemons_(sim, queue_, endpoint_, mds_, compound_, cache_,
-                    params.pool),
+                    pool_params(params)),
       refill_done_(sim),
       refill_in_progress_(smap.nshards(), 0),
       refill_failed_(smap.nshards(), 0),
@@ -151,6 +160,15 @@ std::uint64_t ClientFs::known_size(net::FileId file) const {
 
 // --- processes ------------------------------------------------------------------
 
+redbud::sim::SimFuture<net::RpcResult> ClientFs::mds_call(
+    std::uint32_t shard, net::RequestBody req, obs::TraceContext ctx) {
+  if (params_.rpc_retry) {
+    return endpoint_.call_retry(*mds_[shard], std::move(req), params_.retry,
+                                ctx);
+  }
+  return endpoint_.call_result(*mds_[shard], std::move(req), ctx);
+}
+
 Process ClientFs::create_proc(net::DirId dir, std::string name,
                               SimPromise<net::FileId> p) {
   const obs::TraceContext octx = begin_op();
@@ -158,12 +176,23 @@ Process ClientFs::create_proc(net::DirId dir, std::string name,
   co_await sim_->delay(params_.cpu_op);
   const std::uint32_t shard = smap_.shard_of_name(dir, name);
   net::RequestBody req = net::CreateReq{dir, std::move(name)};
-  auto fut = endpoint_.call(*mds_[shard], std::move(req), octx);
-  auto resp = co_await fut;
-  const auto& cr = std::get<net::CreateResp>(resp);
-  if (cr.status == Status::kOk) files_[cr.file];  // fresh state
+  auto fut = mds_call(shard, std::move(req), octx);
+  auto res = co_await fut;
+  if (!res.ok) {
+    end_op(obs::Stage::kClientMeta, octx, op_start, net::kInvalidFile);
+    p.set_value(net::kInvalidFile);
+    co_return;
+  }
+  const auto& cr = std::get<net::CreateResp>(res.body);
+  // Under at-least-once retry a lost reply re-executes the create, so a
+  // kExists answer on a retransmitted attempt IS our own earlier success —
+  // the server returns the existing id for exactly this case.
+  const bool created = cr.status == Status::kOk;
+  const bool retried_dup = cr.status == Status::kExists &&
+                           res.attempts > 1 && cr.file != net::kInvalidFile;
+  if (created || retried_dup) files_[cr.file];  // fresh state
   end_op(obs::Stage::kClientMeta, octx, op_start, cr.file);
-  p.set_value(cr.status == Status::kOk ? cr.file : net::kInvalidFile);
+  p.set_value(created || retried_dup ? cr.file : net::kInvalidFile);
 }
 
 Process ClientFs::open_proc(net::DirId dir, std::string name,
@@ -173,9 +202,14 @@ Process ClientFs::open_proc(net::DirId dir, std::string name,
   co_await sim_->delay(params_.cpu_op);
   const std::uint32_t shard = smap_.shard_of_name(dir, name);
   net::RequestBody req = net::LookupReq{dir, std::move(name)};
-  auto fut = endpoint_.call(*mds_[shard], std::move(req), octx);
-  auto resp = co_await fut;
-  const auto& lr = std::get<net::LookupResp>(resp);
+  auto fut = mds_call(shard, std::move(req), octx);
+  auto res = co_await fut;
+  if (!res.ok) {
+    end_op(obs::Stage::kClientMeta, octx, op_start, net::kInvalidFile);
+    p.set_value(OpenResult{Status::kUnavailable, net::kInvalidFile, 0});
+    co_return;
+  }
+  const auto& lr = std::get<net::LookupResp>(res.body);
   OpenResult out;
   out.status = lr.status;
   out.file = lr.file;
@@ -278,12 +312,18 @@ Process ClientFs::allocate_space(net::FileId file, std::uint64_t file_block,
       if (pool.has_leftover()) sim_->spawn(return_leftovers_proc(shard));
     }
     if (central) {
-      // Central allocation at the MDS.
+      // Central allocation at the MDS. A duplicate execution under retry
+      // just allocates twice — the extra extents age out as orphans, which
+      // recovery reclaims; nothing references them.
       net::RequestBody req =
           net::LayoutGetReq{file, hole.block, hole.count, true};
-      auto fut = endpoint_.call(*mds_[shard], std::move(req));
-      auto resp = co_await fut;
-      const auto& lg = std::get<net::LayoutGetResp>(resp);
+      auto fut = mds_call(shard, std::move(req));
+      auto res = co_await fut;
+      if (!res.ok) {
+        p.set_value(Status::kUnavailable);
+        co_return;
+      }
+      const auto& lg = std::get<net::LayoutGetResp>(res.body);
       if (lg.status != Status::kOk) {
         p.set_value(lg.status);
         co_return;
@@ -302,10 +342,18 @@ Process ClientFs::allocate_space(net::FileId file, std::uint64_t file_block,
 
 Process ClientFs::refill_proc(std::uint32_t shard) {
   net::RequestBody req = net::DelegateReq{chunk_target_[shard]};
-  auto fut = endpoint_.call(*mds_[shard], std::move(req));
-  auto resp = co_await fut;
-  const auto& dr = std::get<net::DelegateResp>(resp);
+  auto fut = mds_call(shard, std::move(req));
+  auto res = co_await fut;
   refill_in_progress_[shard] = 0;
+  if (!res.ok) {
+    // Shard unreachable: make waiters fall back to central allocation
+    // (which will surface kUnavailable if the outage persists) instead of
+    // spinning on delegation.
+    refill_failed_[shard] = 1;
+    refill_done_.notify_all();
+    co_return;
+  }
+  const auto& dr = std::get<net::DelegateResp>(res.body);
   if (dr.status == Status::kOk) {
     pools_[shard].install_chunk(mds::PhysExtent{dr.start, dr.nblocks});
     refill_failed_[shard] = 0;
@@ -327,7 +375,9 @@ Process ClientFs::return_leftovers_proc(std::uint32_t shard) {
   while (auto leftover = pools_[shard].take_leftover()) {
     net::RequestBody req =
         net::DelegateReturnReq{leftover->addr, leftover->nblocks};
-    auto fut = endpoint_.call(*mds_[shard], std::move(req));
+    auto fut = mds_call(shard, std::move(req));
+    // A return that never lands just leaves the blocks delegated-but-idle:
+    // they show up as reclaimable orphans, never as corruption.
     (void)co_await fut;
   }
 }
@@ -417,8 +467,15 @@ Process ClientFs::write_proc(net::FileId file, std::uint64_t offset,
       creq.entries.push_back(
           net::CommitEntry{file, extents, new_size, tokens});
       net::RequestBody req = std::move(creq);
-      auto fut = endpoint_.call(mds_of(file), std::move(req), octx);
-      (void)co_await fut;
+      auto fut = mds_call(smap_.shard_of_file(file), std::move(req), octx);
+      const auto res = co_await fut;
+      if (!res.ok) {
+        // Data is on disk but the commit never got acked: the pages stay
+        // dirty and the caller sees the failure — nothing claims the
+        // update is durable-ordered when it is not.
+        p.set_value(Status::kUnavailable);
+        break;
+      }
       for (std::uint32_t i = 0; i < range.count; ++i) {
         cache_.mark_clean(file, range.first + i);
       }
@@ -445,7 +502,7 @@ Process ClientFs::write_proc(net::FileId file, std::uint64_t offset,
       creq.entries.push_back(
           net::CommitEntry{file, extents, new_size, tokens});
       net::RequestBody req = std::move(creq);
-      auto fut = endpoint_.call(mds_of(file), std::move(req), octx);
+      auto fut = mds_call(smap_.shard_of_file(file), std::move(req), octx);
       (void)co_await fut;
       p.set_value(Status::kOk);
       break;
@@ -499,9 +556,14 @@ Process ClientFs::read_proc(net::FileId file, std::uint64_t offset,
     if (!covered) {
       net::RequestBody req =
           net::LayoutGetReq{file, range.first, range.count, false};
-      auto fut = endpoint_.call(mds_of(file), std::move(req), octx);
-      auto resp = co_await fut;
-      const auto& lg = std::get<net::LayoutGetResp>(resp);
+      auto fut = mds_call(smap_.shard_of_file(file), std::move(req), octx);
+      auto res = co_await fut;
+      if (!res.ok) {
+        out.status = Status::kUnavailable;
+        p.set_value(std::move(out));
+        co_return;
+      }
+      const auto& lg = std::get<net::LayoutGetResp>(res.body);
       if (lg.status != Status::kOk) {
         out.status = lg.status;
         p.set_value(std::move(out));
@@ -598,19 +660,31 @@ Process ClientFs::remove_proc(net::DirId dir, std::string name,
   const std::uint32_t shard = smap_.shard_of_name(dir, name);
   // Resolve the id so local state can be dropped.
   net::RequestBody lreq = net::LookupReq{dir, name};
-  auto lfut = endpoint_.call(*mds_[shard], std::move(lreq));
-  auto lresp = co_await lfut;
-  const auto& lr = std::get<net::LookupResp>(lresp);
+  auto lfut = mds_call(shard, std::move(lreq));
+  auto lres = co_await lfut;
+  if (!lres.ok) {
+    end_op(obs::Stage::kClientMeta, octx, op_start);
+    p.set_value(Status::kUnavailable);
+    co_return;
+  }
+  const auto& lr = std::get<net::LookupResp>(lres.body);
   if (lr.status == Status::kOk) {
     queue_.drop(lr.file);
     cache_.invalidate_file(lr.file);
     files_.erase(lr.file);
   }
   net::RequestBody req = net::RemoveReq{dir, std::move(name)};
-  auto fut = endpoint_.call(*mds_[shard], std::move(req), octx);
-  auto resp = co_await fut;
+  auto fut = mds_call(shard, std::move(req), octx);
+  auto res = co_await fut;
   end_op(obs::Stage::kClientMeta, octx, op_start);
-  p.set_value(std::get<net::RemoveResp>(resp).status);
+  if (!res.ok) {
+    p.set_value(Status::kUnavailable);
+    co_return;
+  }
+  const auto st = std::get<net::RemoveResp>(res.body).status;
+  // kNoEnt on a retransmitted attempt means our own earlier attempt
+  // already removed the entry (the reply was lost with the crash).
+  p.set_value(st == Status::kNoEnt && res.attempts > 1 ? Status::kOk : st);
 }
 
 }  // namespace redbud::client

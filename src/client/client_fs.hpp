@@ -62,6 +62,12 @@ struct ClientFsParams {
   // Client-side CPU costs.
   redbud::sim::SimTime cpu_op = redbud::sim::SimTime::micros(5);
   redbud::sim::SimTime cpu_page = redbud::sim::SimTime::micros(1);
+  // RPC robustness: retransmit metadata RPCs with exponential backoff (and
+  // re-queue unacked commit batches) instead of parking forever on a lossy
+  // or crashed shard. Off by default: the fault-free paths stay exactly as
+  // they were.
+  bool rpc_retry = false;
+  net::RetryPolicy retry;
 };
 
 using OpenResult = fsapi::OpenResult;
@@ -174,6 +180,14 @@ class ClientFs final : public fsapi::FsClient {
                                       redbud::sim::SimPromise<net::Status> p);
 
   void cache_layout(FileState& st, const std::vector<net::Extent>& extents);
+  // One metadata RPC under the client's robustness policy: retryable with
+  // params_.retry when rpc_retry is on, a plain single-shot call (that can
+  // park forever on loss — the historical semantics) otherwise. Always
+  // resolves to an RpcResult envelope so call sites handle both uniformly.
+  [[nodiscard]] redbud::sim::SimFuture<net::RpcResult> mds_call(
+      std::uint32_t shard, net::RequestBody req, obs::TraceContext ctx = {});
+  // The commit pool inherits the client's retry policy.
+  [[nodiscard]] static CommitPoolParams pool_params(const ClientFsParams& p);
   // Mint the root context of one traced client op (inert when untracked).
   [[nodiscard]] obs::TraceContext begin_op() {
     return obs_ != nullptr ? obs_->tracer.mint() : obs::TraceContext{};

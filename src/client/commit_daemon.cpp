@@ -31,6 +31,8 @@ void CommitDaemonPool::set_obs(obs::Obs* obs, std::uint32_t client_id) {
   obs->registry.register_value("commit_pool.rpcs_sent", labels, &rpcs_sent_);
   obs->registry.register_value("commit_pool.entries_committed", labels,
                                &entries_committed_);
+  obs->registry.register_value("commit_pool.batches_requeued", labels,
+                               &batches_requeued_);
 }
 
 void CommitDaemonPool::start() {
@@ -122,9 +124,26 @@ Process CommitDaemonPool::daemon() {
       obs_->tracer.record(obs::Stage::kCheckoutBatch, bctx, 0, track_,
                           checkout_at, sent_at, batch.size(), shard);
     }
-    auto fut = self_->call(*mds_[shard], std::move(req), bctx);
-    auto resp = co_await fut;
-    const auto& cr = std::get<net::CommitResp>(resp);
+    net::CommitResp cr;
+    if (params_.rpc_retry) {
+      auto fut =
+          self_->call_retry(*mds_[shard], std::move(req), params_.retry, bctx);
+      auto res = co_await fut;
+      if (!res.ok) {
+        // The shard stayed dark past the whole backoff ladder. Nothing was
+        // acked, so nothing may be dropped: push every task back onto the
+        // queue (requeue merges with any newer dirty state for the same
+        // file) and let a later daemon pass re-send it after failover.
+        ++batches_requeued_;
+        for (auto& task : batch) queue_->requeue(std::move(task));
+        continue;
+      }
+      cr = std::get<net::CommitResp>(res.body);
+    } else {
+      auto fut = self_->call(*mds_[shard], std::move(req), bctx);
+      auto resp = co_await fut;
+      cr = std::get<net::CommitResp>(resp);
+    }
     ++rpcs_sent_;
     entries_committed_ += batch.size();
     compound_->on_reply(shard, cr.mds_queue_len, sim_->now() - sent_at);

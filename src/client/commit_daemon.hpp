@@ -29,6 +29,12 @@ struct CommitPoolParams {
   redbud::sim::SimTime control_interval = redbud::sim::SimTime::millis(50);
   // Poll period while queued entries wait for their data writes.
   redbud::sim::SimTime poll_interval = redbud::sim::SimTime::micros(500);
+  // At-least-once commit RPCs: retransmit under `retry` and, when even the
+  // retry budget is exhausted (shard down longer than the backoff ladder),
+  // push the whole batch back onto the commit queue instead of losing it.
+  // Off by default — fault-free runs keep the historical wire behaviour.
+  bool rpc_retry = false;
+  net::RetryPolicy retry;
 };
 
 class CommitDaemonPool {
@@ -53,6 +59,11 @@ class CommitDaemonPool {
 
   [[nodiscard]] std::uint32_t live_threads() const { return live_threads_; }
   [[nodiscard]] std::uint64_t rpcs_sent() const { return rpcs_sent_; }
+  // Batches whose commit RPC exhausted its retry budget and were pushed
+  // back onto the queue (requeued entries are re-sent until acked).
+  [[nodiscard]] std::uint64_t batches_requeued() const {
+    return batches_requeued_;
+  }
   [[nodiscard]] std::uint64_t entries_committed() const {
     return entries_committed_;
   }
@@ -89,6 +100,7 @@ class CommitDaemonPool {
   std::uint32_t exit_requests_ = 0;
   std::uint64_t rpcs_sent_ = 0;
   std::uint64_t entries_committed_ = 0;
+  std::uint64_t batches_requeued_ = 0;
   redbud::sim::TimeSeries thread_series_{"commit_threads"};
   redbud::sim::TimeSeries queue_series_{"commit_queue_len"};
   bool tracing_ = false;

@@ -36,6 +36,7 @@
 #include "obs/obs.hpp"
 #include "sim/parallel.hpp"
 #include "sim/simulation.hpp"
+#include "sim/stats.hpp"
 #include "storage/disk_array.hpp"
 
 namespace redbud::core {
@@ -136,6 +137,36 @@ class Cluster {
     return metadata_scheduler(0);
   }
 
+  // The partition simulating the disk array (== sim() serially).
+  [[nodiscard]] redbud::sim::Simulation& array_sim() { return *array_sim_; }
+  // The partition simulating shard `s` (== sim() serially).
+  [[nodiscard]] redbud::sim::Simulation& shard_sim(std::size_t s) {
+    return *shard_sims_[s];
+  }
+
+  // --- fault injection / failover -------------------------------------------
+  // Crash metadata shard `s` (Lustre failover model: the service keeps
+  // its NID; a cold standby mounts the same metadata disk). Everything
+  // volatile dies: queued and in-flight requests, unflushed journal
+  // appends, the RPC reply cache. Must run in shard `s`'s partition.
+  void crash_shard(std::uint32_t s);
+  // Begin journal-replay failover of shard `s` onto the standby: after
+  // the replay I/O completes the service accepts requests again at the
+  // same node id. Must run in shard `s`'s partition (the fault injector
+  // schedules both calls there).
+  void failover_shard(std::uint32_t s);
+  [[nodiscard]] bool shard_crashed(std::uint32_t s) const {
+    return shards_[s]->crashed;
+  }
+  [[nodiscard]] std::uint64_t shard_crashes() const { return crashes_; }
+  [[nodiscard]] std::uint64_t failovers_completed() const {
+    return failovers_;
+  }
+  // Crash-detected -> serving-again, one sample per completed failover.
+  [[nodiscard]] redbud::sim::LatencyHistogram& failover_time() {
+    return failover_time_;
+  }
+
  private:
   // One metadata shard: endpoint, metadata disk + scheduler, journal,
   // space partition, server.
@@ -146,7 +177,10 @@ class Cluster {
     std::unique_ptr<mds::Journal> journal;
     std::unique_ptr<mds::SpaceManager> space;
     std::unique_ptr<mds::MdsServer> mds;
+    bool crashed = false;
   };
+
+  redbud::sim::Process failover_proc(std::uint32_t s);
 
   ClusterParams params_;
   ShardMap shard_map_;
@@ -157,11 +191,15 @@ class Cluster {
   // Partition assignment (all aliases of partition 0 when serial).
   std::vector<redbud::sim::Simulation*> shard_sims_;
   std::vector<redbud::sim::Simulation*> client_sims_;
+  redbud::sim::Simulation* array_sim_ = nullptr;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<storage::DiskArray> array_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<client::ClientFs>> clients_;
   bool started_ = false;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t failovers_ = 0;
+  redbud::sim::LatencyHistogram failover_time_;
 };
 
 }  // namespace redbud::core

@@ -1,0 +1,132 @@
+#include "fault/schedule.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <tuple>
+
+namespace redbud::fault {
+
+using redbud::sim::Rng;
+using redbud::sim::SimTime;
+
+const char* fault_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kSlowDisk:
+      return "slow_disk";
+    case FaultKind::kLossyLink:
+      return "lossy_link";
+    case FaultKind::kLinkPartition:
+      return "link_partition";
+    case FaultKind::kShardCrash:
+      return "shard_crash";
+  }
+  return "unknown";
+}
+
+namespace {
+
+SimTime draw_at(Rng& rng, const FaultScheduleParams& p) {
+  return SimTime::nanos(
+      rng.uniform_int(p.window_start.ns(), p.window_end.ns()));
+}
+
+SimTime draw_duration(Rng& rng, const FaultScheduleParams& p) {
+  return SimTime::nanos(
+      rng.uniform_int(p.min_duration.ns(), p.max_duration.ns()));
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::generate(const FaultScheduleParams& p,
+                                      std::uint32_t ndisks,
+                                      std::uint32_t nclients,
+                                      std::uint32_t nshards) {
+  assert(p.window_end >= p.window_start);
+  assert(p.max_duration >= p.min_duration);
+  FaultSchedule out;
+  Rng rng(p.seed ^ 0x7ea1a5ef00d5eedull);
+
+  // Fixed draw order (kind by kind, fields in declaration order) so the
+  // schedule is a pure function of (params, topology).
+  for (std::uint32_t i = 0; i < p.slow_disks && ndisks > 0; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kSlowDisk;
+    e.at = draw_at(rng, p);
+    e.duration = draw_duration(rng, p);
+    e.target = static_cast<std::uint32_t>(rng.next_below(ndisks));
+    e.intensity = rng.uniform(p.min_slow, p.max_slow);
+    out.events_.push_back(e);
+  }
+  for (std::uint32_t i = 0; i < p.lossy_links && nclients > 0; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kLossyLink;
+    e.at = draw_at(rng, p);
+    e.duration = draw_duration(rng, p);
+    e.target = static_cast<std::uint32_t>(rng.next_below(nclients));
+    e.intensity = rng.uniform(p.min_loss, p.max_loss);
+    out.events_.push_back(e);
+  }
+  for (std::uint32_t i = 0; i < p.link_partitions && nclients > 0; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kLinkPartition;
+    e.at = draw_at(rng, p);
+    e.duration = draw_duration(rng, p);
+    e.target = static_cast<std::uint32_t>(rng.next_below(nclients));
+    e.intensity = 1.0;
+    out.events_.push_back(e);
+  }
+  // Each crash gets its own shard (a deterministic shuffle of the shard
+  // indices), so no shard crashes twice — crashing a shard that is still
+  // replaying its journal would be a double fault the failover model
+  // (one cold standby per shard) does not pretend to survive.
+  if (nshards > 0 && p.shard_crashes > 0) {
+    std::vector<std::uint32_t> shards(nshards);
+    for (std::uint32_t s = 0; s < nshards; ++s) shards[s] = s;
+    for (std::uint32_t s = nshards - 1; s > 0; --s) {
+      const auto j = static_cast<std::uint32_t>(rng.next_below(s + 1));
+      std::swap(shards[s], shards[j]);
+    }
+    const std::uint32_t ncrash = std::min(p.shard_crashes, nshards);
+    for (std::uint32_t i = 0; i < ncrash; ++i) {
+      FaultEvent e;
+      e.kind = FaultKind::kShardCrash;
+      e.at = draw_at(rng, p);
+      e.duration = draw_duration(rng, p);
+      e.target = shards[i];
+      e.intensity = 0.0;
+      out.events_.push_back(e);
+    }
+  }
+
+  std::sort(out.events_.begin(), out.events_.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return std::tie(a.at, a.kind, a.target) <
+                     std::tie(b.at, b.kind, b.target);
+            });
+  return out;
+}
+
+std::uint64_t FaultSchedule::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(events_.size());
+  for (const auto& e : events_) {
+    mix(static_cast<std::uint64_t>(e.kind));
+    mix(static_cast<std::uint64_t>(e.at.ns()));
+    mix(static_cast<std::uint64_t>(e.duration.ns()));
+    mix(e.target);
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(e.intensity));
+    std::memcpy(&bits, &e.intensity, sizeof(bits));
+    mix(bits);
+  }
+  return h;
+}
+
+}  // namespace redbud::fault

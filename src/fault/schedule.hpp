@@ -1,0 +1,96 @@
+// Seed-derived fault schedules.
+//
+// A FaultSchedule is a plain list of timed fault windows, generated up
+// front from one seed and replayed verbatim by the FaultInjector: every
+// event carries its absolute raise time, its duration, a target index and
+// an intensity. Nothing in the schedule depends on simulation state, so
+// the same (seed, params, topology) triple always produces the identical
+// byte-for-byte schedule — the determinism tests hash exactly this, and
+// the scenario-matrix bench enumerates grids of these parameter structs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace redbud::fault {
+
+enum class FaultKind : std::uint8_t {
+  // A data-array device turns fail-slow: its service time is multiplied
+  // by `intensity` for the window (the RNG streams of the disk model are
+  // untouched, so the same seeks/rotations happen, just slower).
+  kSlowDisk,
+  // A client's uplink loses `intensity` of its frames (both its requests
+  // and, from the fabric's view, nothing else: loss is drawn per frame at
+  // the sender's NIC).
+  kLossyLink,
+  // A client's uplink loses every frame — a full partition of that host
+  // for the window.
+  kLinkPartition,
+  // An MDS shard crashes: volatile state dies, unflushed journal appends
+  // are lost, the endpoint goes dark. `duration` is the detection delay;
+  // when it elapses the cold standby begins journal-replay failover and
+  // serves again at the same node id once the replay I/O completes.
+  kShardCrash,
+};
+inline constexpr std::size_t kFaultKindCount = 4;
+[[nodiscard]] const char* fault_name(FaultKind k);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kSlowDisk;
+  redbud::sim::SimTime at;        // fault raised
+  redbud::sim::SimTime duration;  // raised -> cleared (crash: detection)
+  std::uint32_t target = 0;       // device / client / shard index by kind
+  double intensity = 0.0;         // slow factor / loss rate; unused: crash
+};
+
+struct FaultScheduleParams {
+  std::uint64_t seed = 1;
+  // Faults are raised inside [window_start, window_end); durations may
+  // extend past the end (the injector still clears them).
+  redbud::sim::SimTime window_start = redbud::sim::SimTime::millis(50);
+  redbud::sim::SimTime window_end = redbud::sim::SimTime::millis(400);
+  // Events drawn per kind. Shard crashes are capped at the shard count:
+  // each crash gets its own shard, so a shard never crashes again while
+  // its failover is still replaying the journal.
+  std::uint32_t slow_disks = 0;
+  std::uint32_t lossy_links = 0;
+  std::uint32_t link_partitions = 0;
+  std::uint32_t shard_crashes = 0;
+  redbud::sim::SimTime min_duration = redbud::sim::SimTime::millis(20);
+  redbud::sim::SimTime max_duration = redbud::sim::SimTime::millis(120);
+  double min_loss = 0.05;   // kLossyLink intensity range
+  double max_loss = 0.40;
+  double min_slow = 2.0;    // kSlowDisk factor range
+  double max_slow = 16.0;
+};
+
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  // Draw a schedule for a cluster of `ndisks` data devices, `nclients`
+  // client hosts and `nshards` metadata shards. Pure function of its
+  // arguments (one private Rng, fixed draw order).
+  [[nodiscard]] static FaultSchedule generate(const FaultScheduleParams& p,
+                                              std::uint32_t ndisks,
+                                              std::uint32_t nclients,
+                                              std::uint32_t nshards);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  // FNV-1a over every event field — the determinism tests compare this
+  // across reruns and against the injected-fault counters of a run.
+  [[nodiscard]] std::uint64_t digest() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace redbud::fault

@@ -1,5 +1,6 @@
 #include "mds/journal.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -67,9 +68,20 @@ Process Journal::flusher() {
     head_ += nblocks;
 
     std::vector<ContentToken> tokens(nblocks, 1);  // journal payload marker
+    const std::uint64_t gen = crash_gen_;
     // Two-step await: see the GCC 12 note in disk_array.cpp.
     auto io = device_->submit(IoKind::kWrite, at, nblocks, std::move(tokens));
     co_await io;
+
+    if (gen != crash_gen_) {
+      // The host crashed while this flush was in flight: the write may
+      // have hit the platter, but the commit record set was torn from the
+      // in-memory state that described it. Treat the whole batch as lost;
+      // waiters wake and detect the generation bump.
+      appends_lost_ += batch.size();
+      for (auto& rec : batch) rec.promise.set_value(Done{});
+      continue;
+    }
 
     ++flushes_;
     bytes_flushed_ += std::size_t(nblocks) * kBlockSize;
@@ -84,6 +96,40 @@ Process Journal::flusher() {
       rec.promise.set_value(Done{});
     }
   }
+}
+
+void Journal::crash() {
+  ++crash_gen_;
+  // Unflushed appends die with the host's memory. Resolve their futures
+  // so waiting daemons wake; the generation bump tells them the record
+  // never became durable.
+  auto lost = std::move(pending_);
+  pending_.clear();
+  pending_bytes_ = 0;
+  appends_lost_ += lost.size();
+  for (auto& rec : lost) rec.promise.set_value(Done{});
+}
+
+SimFuture<Done> Journal::replay() {
+  SimPromise<Done> p(*sim_);
+  auto fut = p.future();
+  sim_->spawn(replay_proc(std::move(p)));
+  return fut;
+}
+
+Process Journal::replay_proc(SimPromise<Done> p) {
+  // The standby mounts the metadata disk and reads the active journal
+  // window back sequentially before it can serve. An empty journal still
+  // pays one device round trip (reading the journal superblock).
+  const auto window = std::min<std::uint64_t>(
+      std::max<storage::BlockNo>(head_, 1), params_.replay_window_blocks);
+  const auto nblocks = static_cast<std::uint32_t>(window);
+  const BlockNo at =
+      params_.region_start + (head_ >= window ? head_ - window : 0);
+  auto io = device_->submit(IoKind::kRead, at, nblocks);
+  co_await io;
+  ++replays_;
+  p.set_value(Done{});
 }
 
 }  // namespace redbud::mds

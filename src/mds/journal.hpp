@@ -21,6 +21,9 @@ namespace redbud::mds {
 struct JournalParams {
   storage::BlockNo region_start = 0;
   std::uint64_t region_blocks = (1ull << 30) / storage::kBlockSize;  // 1 GiB
+  // Failover replay reads back at most this many journal blocks — the
+  // active window since the last checkpoint, not the whole region.
+  std::uint32_t replay_window_blocks = 4096;
 };
 
 class Journal {
@@ -51,8 +54,26 @@ class Journal {
     return flushes_ == 0 ? 0.0 : double(records_) / double(flushes_);
   }
 
+  // --- fault injection / failover -------------------------------------------
+  // Crash the journal's host. Unflushed appends (and any flush whose
+  // device I/O is still in flight) are discarded: their futures resolve
+  // so waiting daemons wake, but the records never became durable —
+  // callers MUST compare crash_generation() across the await to learn
+  // whether their append survived.
+  void crash();
+  [[nodiscard]] std::uint64_t crash_generation() const { return crash_gen_; }
+  [[nodiscard]] std::uint64_t appends_lost() const { return appends_lost_; }
+  [[nodiscard]] std::uint64_t replays() const { return replays_; }
+
+  // Standby takeover: read back the active journal window (sequential
+  // I/O on the metadata disk) to rebuild the in-memory image. The future
+  // resolves when the replay I/O completes.
+  [[nodiscard]] redbud::sim::SimFuture<redbud::sim::Done> replay();
+
  private:
   redbud::sim::Process flusher();
+  redbud::sim::Process replay_proc(
+      redbud::sim::SimPromise<redbud::sim::Done> p);
 
   redbud::sim::Simulation* sim_;
   storage::IoScheduler* device_;
@@ -71,6 +92,9 @@ class Journal {
   std::uint64_t records_ = 0;
   std::uint64_t flushes_ = 0;
   std::uint64_t bytes_flushed_ = 0;
+  std::uint64_t crash_gen_ = 0;
+  std::uint64_t appends_lost_ = 0;
+  std::uint64_t replays_ = 0;
   obs::Obs* obs_ = nullptr;
   obs::Track track_;  // shard track group, journal row
 };

@@ -81,6 +81,12 @@ Process MdsServer::daemon() {
   for (;;) {
     queue_gauge_.set(sim_->now(), double(endpoint_->incoming_depth()));
     net::IncomingRpc rpc = co_await endpoint_->incoming().recv();
+    if (crashed_) {
+      // The channel is drained at crash, but a request can slip between
+      // the recv wake-up and the crash flag: it dies with the host.
+      ++requests_abandoned_;
+      continue;
+    }
     ++rpcs_;
     const SimTime recv_at = sim_->now();
     // Server-side span: dequeue -> reply issued, a child of the wire span
@@ -95,6 +101,11 @@ Process MdsServer::daemon() {
         1.0 + params_.ctx_overhead_per_daemon * double(params_.ndaemons - 1);
     co_await sim_->delay(cpu_cost(rpc.body) * inflation);
     cpu_.release();
+    if (crashed_) {
+      // Host died while the request was on CPU: nothing executed.
+      ++requests_abandoned_;
+      continue;
+    }
 
     const bool journal = needs_journal(rpc.body);
     // execute() runs without suspension, so stamping seq right after it
@@ -120,7 +131,16 @@ Process MdsServer::daemon() {
         bytes = params_.journal_record_bytes * std::max<std::size_t>(
                                                    1, c->entries.size());
       }
+      const std::uint64_t jgen = journal_->crash_generation();
       co_await journal_->append(bytes, mctx);
+      if (jgen != journal_->crash_generation()) {
+        // Crashed before the flush: the executed mutations never became
+        // durable and no reply goes out. The in-memory image keeps them
+        // (the standby conservatively retains it), so the client's
+        // retransmit after failover re-executes idempotently.
+        ++requests_abandoned_;
+        continue;
+      }
       // Journal flushed: the staged mutations are now durable; record
       // them for the recovery checker.
       for (auto& rec : pending.commits) {
@@ -187,7 +207,13 @@ ResponseBody MdsServer::execute(const net::IncomingRpc& rpc,
 ResponseBody MdsServer::do_create(const net::CreateReq& r) {
   const net::FileId id = ns_.create(r.dir, r.name);
   if (id == net::kInvalidFile) {
-    return net::CreateResp{Status::kExists, net::kInvalidFile};
+    // Duplicate name. Return the existing id: a retransmitted create whose
+    // first attempt executed but whose reply was lost can treat this as
+    // success (at-least-once idempotency); first-attempt callers still see
+    // kExists and report the collision.
+    const auto existing = ns_.lookup(r.dir, r.name);
+    return net::CreateResp{Status::kExists,
+                           existing ? *existing : net::kInvalidFile};
   }
   return net::CreateResp{Status::kOk, id};
 }

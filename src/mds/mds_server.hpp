@@ -123,6 +123,23 @@ class MdsServer {
     return std::exchange(grants_, {});
   }
 
+  // --- fault injection / failover -------------------------------------------
+  // Crash the server's host: daemons abandon whatever they were doing
+  // (the coroutines themselves survive — they check crashed() after every
+  // suspension point — but no mutation becomes durable and no reply goes
+  // out). The endpoint's and journal's own crash() handle their state;
+  // Cluster::crash_shard() sequences all three.
+  void crash() { crashed_ = true; }
+  // Standby takeover complete (journal replayed): serve again. The
+  // in-memory image is conservatively retained — executed-but-unflushed
+  // mutations survive as unacknowledged state that at-least-once retries
+  // re-execute idempotently.
+  void recover() { crashed_ = false; }
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  [[nodiscard]] std::uint64_t requests_abandoned() const {
+    return requests_abandoned_;
+  }
+
   // --- statistics -----------------------------------------------------------
   [[nodiscard]] std::uint64_t ops_processed() const { return ops_; }
   [[nodiscard]] std::uint64_t commit_entries_processed() const {
@@ -168,6 +185,8 @@ class MdsServer {
   Namespace ns_;
   redbud::sim::Semaphore cpu_;
   bool started_ = false;
+  bool crashed_ = false;
+  std::uint64_t requests_abandoned_ = 0;
 
   // Provisionally allocated (uncommitted) extents, per file by file block.
   std::unordered_map<net::FileId, std::map<std::uint64_t, net::Extent>>

@@ -33,8 +33,23 @@ NodeId Network::add_node(redbud::sim::Simulation& owner,
   node->ingress = std::make_unique<BitPipe>(owner, bw, params_.link_latency);
   node->sim = &owner;
   node->partition = owner.partition_id();
+  node->loss_rate = params_.loss_rate;
+  const auto id = static_cast<NodeId>(nodes_.size());
+  node->fault_rng = redbud::sim::Rng(params_.fault_seed ^
+                                     (0x9e3779b97f4a7c15ull * (id + 1)));
   nodes_.push_back(std::move(node));
-  return static_cast<NodeId>(nodes_.size() - 1);
+  return id;
+}
+
+void Network::set_link_loss(NodeId n, double loss_rate) {
+  assert(n < nodes_.size());
+  assert(loss_rate >= 0.0 && loss_rate <= 1.0);
+  nodes_[n]->loss_rate = loss_rate;
+}
+
+void Network::set_link_delay(NodeId n, SimTime extra) {
+  assert(n < nodes_.size());
+  nodes_[n]->extra_delay = extra;
 }
 
 void Network::register_endpoint(NodeId n, RpcEndpoint* ep) {
@@ -43,9 +58,11 @@ void Network::register_endpoint(NodeId n, RpcEndpoint* ep) {
 }
 
 Process Network::send_proc(NodeId from, NodeId to, std::size_t bytes,
-                           SimPromise<Done> p) {
+                           bool lost, SimTime extra, SimPromise<Done> p) {
   co_await nodes_[from]->egress->transfer(bytes);
-  co_await nodes_[from]->sim->delay(params_.switch_latency);
+  if (lost) co_return;  // frame left the NIC; the fabric ate it — `p`
+                        // is destroyed unresolved, waiters stay parked
+  co_await nodes_[from]->sim->delay(params_.switch_latency + extra);
   co_await nodes_[to]->ingress->transfer(bytes);
   p.set_value(Done{});
 }
@@ -57,16 +74,26 @@ SimFuture<Done> Network::send(NodeId from, NodeId to, std::size_t bytes) {
   messages_.fetch_add(1, std::memory_order_relaxed);
   bytes_.fetch_add(bytes, std::memory_order_relaxed);
   Node& src = *nodes_[from];
+  // Fault decisions happen synchronously at entry so the per-node RNG
+  // draw order is the call order — the same FIFO argument that makes the
+  // parallel egress reservation match the serial coroutine order.
+  const bool lost = lose_frame(src);
+  if (lost) {
+    ++src.dropped;
+    drops_.fetch_add(1, std::memory_order_relaxed);
+  }
   SimPromise<Done> p(*src.sim);
   auto fut = p.future();
-  src.sim->spawn(send_proc(from, to, bytes, std::move(p)));
+  src.sim->spawn(send_proc(from, to, bytes, lost, src.extra_delay,
+                           std::move(p)));
   return fut;
 }
 
 Process Network::deliver_proc(NodeId from, NodeId to, std::size_t bytes,
-                              SmallFn done) {
+                              bool lost, SimTime extra, SmallFn done) {
   co_await nodes_[from]->egress->transfer(bytes);
-  co_await nodes_[from]->sim->delay(params_.switch_latency);
+  if (lost) co_return;  // dropped in the fabric: `done` is never run
+  co_await nodes_[from]->sim->delay(params_.switch_latency + extra);
   co_await nodes_[to]->ingress->transfer(bytes);
   done();
 }
@@ -78,8 +105,18 @@ void Network::deliver(NodeId from, NodeId to, std::size_t bytes,
   bytes_.fetch_add(bytes, std::memory_order_relaxed);
   Node& src = *nodes_[from];
   Node& dst = *nodes_[to];
+  // Loss draw + delay read at entry, in the source partition, in call
+  // order (see send()). The serial coroutine still makes the egress
+  // reservation at its own run point so reservation ordering between
+  // dropped and delivered frames is unchanged from the lossless path.
+  const bool lost = lose_frame(src);
+  if (lost) {
+    ++src.dropped;
+    drops_.fetch_add(1, std::memory_order_relaxed);
+  }
   if (domain_ == nullptr || src.partition == dst.partition) {
-    src.sim->spawn(deliver_proc(from, to, bytes, std::move(done)));
+    src.sim->spawn(
+        deliver_proc(from, to, bytes, lost, src.extra_delay, std::move(done)));
     return;
   }
   // Cross-partition hop. The egress reservation is made synchronously in
@@ -89,8 +126,10 @@ void Network::deliver(NodeId from, NodeId to, std::size_t bytes,
   // least link + switch >= domain lookahead in the future, so it is a
   // legal mailbox injection into the receiver's partition, where the
   // ingress reservation and the completion callback run.
+  const SimTime at_egress = src.egress->enqueue(bytes);
+  if (lost) return;  // NIC slot consumed; nothing crosses the fabric
   const SimTime at_switch_out =
-      src.egress->enqueue(bytes) + params_.switch_latency;
+      at_egress + params_.switch_latency + src.extra_delay;
   domain_->post(*src.sim, dst.partition, at_switch_out,
                 [this, to, bytes, done = std::move(done)]() mutable {
                   Node& d = *nodes_[to];

@@ -23,6 +23,7 @@
 #include "sim/future.hpp"
 #include "sim/parallel.hpp"
 #include "sim/pipe.hpp"
+#include "sim/random.hpp"
 #include "sim/simulation.hpp"
 
 namespace redbud::net {
@@ -36,6 +37,14 @@ struct NetworkParams {
   double nic_bytes_per_second = 110.0 * 1024 * 1024;
   redbud::sim::SimTime link_latency = redbud::sim::SimTime::micros(30);
   redbud::sim::SimTime switch_latency = redbud::sim::SimTime::micros(10);
+  // Fault injection: fraction of frames a node's uplink loses, applied to
+  // every node at registration. 0 = lossless (the default; no RNG draws
+  // happen, so fault-free runs are byte-identical to a build without the
+  // hooks). Per-link overrides via set_link_loss().
+  double loss_rate = 0.0;
+  // Seed for the per-node loss/delay RNG streams (xor-folded with the
+  // node id, so each link draws from an independent stream).
+  std::uint64_t fault_seed = 0x6c7c7a2f90d3f1b5ull;
 };
 
 class Network {
@@ -95,18 +104,66 @@ class Network {
     return bytes_.load(std::memory_order_relaxed);
   }
 
+  // --- fault injection ------------------------------------------------------
+  // All fault state is per *source* node and is read/written only from the
+  // source's own partition: the loss draw and the extra-delay read happen
+  // synchronously at deliver()/send() entry, in per-node RNG streams whose
+  // draw order equals the call order — identical serial and parallel, for
+  // any worker count. A dropped frame still occupies its slot on the
+  // sender's egress pipe (the NIC transmitted it; the fabric lost it) but
+  // never arrives: the completion callback is never run, the send future
+  // never resolves, and recovery is the caller's (RPC retry) problem.
+  // Must be called from the node's owning partition.
+  void set_link_loss(NodeId n, double loss_rate);
+  // Fixed extra one-way latency added to every frame leaving `n` (a
+  // congested or flapping uplink). Must be called from `n`'s partition.
+  void set_link_delay(NodeId n, redbud::sim::SimTime extra);
+  [[nodiscard]] double link_loss(NodeId n) const {
+    return nodes_[n]->loss_rate;
+  }
+  [[nodiscard]] redbud::sim::SimTime link_delay(NodeId n) const {
+    return nodes_[n]->extra_delay;
+  }
+  [[nodiscard]] std::uint64_t link_dropped(NodeId n) const {
+    return nodes_[n]->dropped;
+  }
+  [[nodiscard]] std::uint64_t messages_dropped() const {
+    return drops_.load(std::memory_order_relaxed);
+  }
+  // Round-trip floor of the fabric: the least time a request + reply pair
+  // can take. Retry timeouts below this could never observe a reply.
+  [[nodiscard]] redbud::sim::SimTime min_rtt() const {
+    return (params_.link_latency + params_.switch_latency) +
+           (params_.link_latency + params_.switch_latency);
+  }
+
  private:
   struct Node {
     std::unique_ptr<redbud::sim::BitPipe> egress;
     std::unique_ptr<redbud::sim::BitPipe> ingress;
     redbud::sim::Simulation* sim = nullptr;
     std::uint32_t partition = 0;
+    // Fault state, owned by this node's partition (see the fault section
+    // of the public API for the determinism argument).
+    double loss_rate = 0.0;
+    redbud::sim::SimTime extra_delay{};
+    redbud::sim::Rng fault_rng{0};
+    std::uint64_t dropped = 0;
   };
 
+  // Loss draw for a frame leaving `src`; true = the fabric eats it.
+  // Consumes an RNG draw only when the link is actually lossy.
+  [[nodiscard]] static bool lose_frame(Node& src) {
+    return src.loss_rate > 0.0 &&
+           src.fault_rng.next_double() < src.loss_rate;
+  }
+
   redbud::sim::Process send_proc(NodeId from, NodeId to, std::size_t bytes,
+                                 bool lost, redbud::sim::SimTime extra,
                                  redbud::sim::SimPromise<redbud::sim::Done> p);
   redbud::sim::Process deliver_proc(NodeId from, NodeId to,
-                                    std::size_t bytes,
+                                    std::size_t bytes, bool lost,
+                                    redbud::sim::SimTime extra,
                                     redbud::sim::SmallFn done);
 
   redbud::sim::Simulation* sim_;
@@ -117,6 +174,7 @@ class Network {
   // Relaxed atomics: bumped from whichever partition initiates a send.
   std::atomic<std::uint64_t> messages_{0};
   std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> drops_{0};
 };
 
 }  // namespace redbud::net

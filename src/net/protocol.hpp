@@ -50,6 +50,9 @@ enum class Status : std::uint8_t {
   kExists,
   kNoSpace,
   kStale,
+  // The service did not answer within the caller's retry budget (crashed
+  // shard, partitioned link). Only surfaced by retry-enabled clients.
+  kUnavailable,
 };
 
 // Mapping of a contiguous file range to physical storage — the paper's

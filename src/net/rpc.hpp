@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <iosfwd>
 #include <map>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "obs/obs.hpp"
 #include "sim/channel.hpp"
@@ -34,6 +36,29 @@ struct IncomingRpc {
   // caller's context, which the server parents its own spans under.
   // Tracing-only metadata — it does not contribute to wire_size().
   obs::TraceContext ctx;
+  // The caller may retransmit this xid: the server dedups duplicates and
+  // caches the reply for retransmission (at-least-once wire semantics,
+  // exactly-once execution while the reply cache holds the entry).
+  bool retryable = false;
+};
+
+// Exponential-backoff retransmission contract for call_retry(). The
+// timeout doubles (by `backoff`) after every unanswered attempt, capped
+// at `max_timeout`; after `max_attempts` unanswered attempts the call
+// resolves with ok = false and the caller decides (re-queue, surface).
+struct RetryPolicy {
+  redbud::sim::SimTime timeout = redbud::sim::SimTime::millis(5);
+  double backoff = 2.0;
+  redbud::sim::SimTime max_timeout = redbud::sim::SimTime::millis(320);
+  std::uint32_t max_attempts = 8;
+};
+
+// Outcome of a retryable (or result-style) call. `body` is only valid
+// when ok; `attempts` counts transmissions (1 = no retransmit needed).
+struct RpcResult {
+  bool ok = false;
+  std::uint32_t attempts = 1;
+  ResponseBody body;
 };
 
 class RpcEndpoint {
@@ -51,6 +76,24 @@ class RpcEndpoint {
   [[nodiscard]] redbud::sim::SimFuture<ResponseBody> call(
       RpcEndpoint& server, RequestBody body, obs::TraceContext ctx = {});
 
+  // Like call(), but with at-least-once delivery: the request is
+  // retransmitted under `policy` (same xid, so the server's reply cache
+  // dedups re-executions) until a reply lands or the attempt budget is
+  // exhausted. Resolves ALWAYS — with ok = false after the last timeout —
+  // so callers never park forever on a lossy or partitioned link.
+  // Aborts (REDBUD_REQUIRE) if the policy's first timeout is below the
+  // network's min RTT / lookahead floor: such a schedule would retransmit
+  // before any reply could arrive.
+  [[nodiscard]] redbud::sim::SimFuture<RpcResult> call_retry(
+      RpcEndpoint& server, RequestBody body, const RetryPolicy& policy,
+      obs::TraceContext ctx = {});
+
+  // call() with an RpcResult envelope and no timeout: single transmission,
+  // resolves ok = true on reply, parks forever on loss (exactly the plain
+  // call() semantics). Lets call sites switch retry on/off uniformly.
+  [[nodiscard]] redbud::sim::SimFuture<RpcResult> call_result(
+      RpcEndpoint& server, RequestBody body, obs::TraceContext ctx = {});
+
   // Attach the cluster's observability bundle; `track` is the Perfetto
   // track rpc-wire spans of calls made from this endpoint land on, and
   // `labels` identify this endpoint's registered counters.
@@ -63,6 +106,16 @@ class RpcEndpoint {
     obs->registry.register_value("rpc.request_bytes_sent", labels,
                                  &req_bytes_sent_);
     obs->registry.register_histogram("rpc.rtt", labels, &rtt_);
+    obs->registry.register_value("rpc.retries_sent", labels, &retries_sent_);
+    obs->registry.register_value("rpc.retries_exhausted", labels,
+                                 &retries_exhausted_);
+    obs->registry.register_value("rpc.dup_requests_dropped", labels,
+                                 &dup_requests_dropped_);
+    obs->registry.register_value("rpc.dup_replies_served", labels,
+                                 &dup_replies_served_);
+    obs->registry.register_value("rpc.late_replies", labels, &late_replies_);
+    obs->registry.register_value("rpc.dropped_while_down", labels,
+                                 &dropped_while_down_);
   }
 
   // Server side: the queue of requests awaiting processing.
@@ -74,9 +127,31 @@ class RpcEndpoint {
   // Server side: answer a pulled request.
   void reply(const IncomingRpc& rpc, ResponseBody body);
 
+  // --- fault injection ------------------------------------------------------
+  // Crash/restore the endpoint's host. While down, arriving requests and
+  // outgoing replies are dropped. Going down also wipes volatile server
+  // state: the queued request channel, the in-flight dedup set and the
+  // reply cache — exactly what a real crash loses.
+  void set_down(bool down);
+  [[nodiscard]] bool down() const { return down_; }
+
   // --- statistics -----------------------------------------------------------
   [[nodiscard]] std::uint64_t calls_sent() const { return calls_sent_; }
   [[nodiscard]] std::uint64_t calls_received() const { return calls_received_; }
+  [[nodiscard]] std::uint64_t retries_sent() const { return retries_sent_; }
+  [[nodiscard]] std::uint64_t retries_exhausted() const {
+    return retries_exhausted_;
+  }
+  [[nodiscard]] std::uint64_t dup_requests_dropped() const {
+    return dup_requests_dropped_;
+  }
+  [[nodiscard]] std::uint64_t dup_replies_served() const {
+    return dup_replies_served_;
+  }
+  [[nodiscard]] std::uint64_t late_replies() const { return late_replies_; }
+  [[nodiscard]] std::uint64_t dropped_while_down() const {
+    return dropped_while_down_;
+  }
   [[nodiscard]] std::uint64_t request_bytes_sent() const {
     return req_bytes_sent_;
   }
@@ -111,28 +186,77 @@ class RpcEndpoint {
     std::uint64_t parent = 0;    // caller's span, parent of the wire span
   };
 
+  // A call carrying an RpcResult promise: retryable (timer armed, body
+  // kept for retransmission) or result-style (single shot, no timer).
+  struct RetryCall {
+    redbud::sim::SimPromise<RpcResult> promise;
+    redbud::sim::SimTime first_sent_at;
+    redbud::sim::SimTime sent_at;  // of the latest transmission
+    RetryPolicy policy;
+    redbud::sim::SimTime cur_timeout;
+    std::uint32_t attempts = 1;
+    bool retryable = false;  // false: call_result(), no timer, no body copy
+    RequestBody body;        // kept only for retransmission
+    RpcEndpoint* server = nullptr;
+    const char* op = nullptr;
+    obs::TraceContext rpc_ctx;
+    std::uint64_t parent = 0;
+  };
+
+  // Dedup identity of a retryable request as seen by the server. Xids are
+  // per-caller monotone and never reused, so (caller node, xid) is unique
+  // across the cluster lifetime; 16 bits of node + 48 bits of xid.
+  [[nodiscard]] static std::uint64_t dedup_key(NodeId from,
+                                               std::uint64_t xid) {
+    return (static_cast<std::uint64_t>(from) << 48) |
+           (xid & 0xffffffffffffull);
+  }
+
   redbud::sim::Process deliver_request(RpcEndpoint* server, std::uint64_t xid,
                                        RequestBody body, std::size_t bytes,
-                                       obs::TraceContext ctx);
+                                       obs::TraceContext ctx, bool retryable);
   redbud::sim::Process deliver_response(NodeId to, std::uint64_t xid,
                                         ResponseBody body, std::size_t bytes);
   // Server-side arrival bookkeeping + enqueue. Runs in the server's
   // partition (directly from the wire-arrival event in parallel mode).
   void receive_request(std::uint64_t xid, NodeId from, RequestBody body,
-                       obs::TraceContext ctx);
+                       obs::TraceContext ctx, bool retryable);
   void complete_call(std::uint64_t xid, ResponseBody body);
+  // (Re)transmit a RetryCall's request; updates sent_at + wire stats.
+  void transmit(std::uint64_t xid, RetryCall& rc);
+  void arm_retry_timer(std::uint64_t xid, redbud::sim::SimTime timeout);
+  void on_retry_timeout(std::uint64_t xid);
+  // Put a response on the wire towards `to` (shared by reply() and the
+  // reply-cache retransmission path).
+  void send_response(NodeId to, std::uint64_t xid, ResponseBody body);
+  void cache_reply(NodeId from, std::uint64_t xid, const ResponseBody& body);
 
   redbud::sim::Simulation* sim_;
   Network* net_;
   NodeId node_;
   redbud::sim::Channel<IncomingRpc> incoming_;
   std::unordered_map<std::uint64_t, PendingCall> pending_;
+  std::unordered_map<std::uint64_t, RetryCall> retry_pending_;
   // Reverse lookup: who do we send replies to. Registered on first call.
   std::unordered_map<NodeId, RpcEndpoint*> peers_;
+  // Server-side exactly-once-execution state for retryable requests:
+  // requests currently queued or executing (duplicates dropped), and a
+  // bounded FIFO cache of sent replies (duplicates answered from cache).
+  std::unordered_set<std::uint64_t> inflight_dedup_;
+  std::unordered_map<std::uint64_t, ResponseBody> reply_cache_;
+  std::deque<std::uint64_t> reply_cache_fifo_;
+  static constexpr std::size_t kReplyCacheCap = 4096;
+  bool down_ = false;
   std::uint64_t next_xid_ = 1;
   std::uint64_t calls_sent_ = 0;
   std::uint64_t calls_received_ = 0;
   std::uint64_t req_bytes_sent_ = 0;
+  std::uint64_t retries_sent_ = 0;
+  std::uint64_t retries_exhausted_ = 0;
+  std::uint64_t dup_requests_dropped_ = 0;
+  std::uint64_t dup_replies_served_ = 0;
+  std::uint64_t late_replies_ = 0;
+  std::uint64_t dropped_while_down_ = 0;
   redbud::sim::LatencyHistogram rtt_;
   std::map<std::string, OpStats> op_stats_;
   obs::Obs* obs_ = nullptr;

@@ -27,6 +27,10 @@ const char* stage_name(Stage s) {
       return "journal_fsync";
     case Stage::kCommitE2e:
       return "commit_e2e";
+    case Stage::kFaultEvent:
+      return "fault_event";
+    case Stage::kFailover:
+      return "failover";
   }
   return "unknown";
 }

@@ -48,8 +48,10 @@ enum class Stage : std::uint8_t {
   kMdsHandle,      // MDS daemon dequeues the RPC -> reply issued
   kJournalFsync,   // journal append -> covering group-commit flush durable
   kCommitE2e,      // commit-queue enqueue -> commit RPC acknowledged
+  kFaultEvent,     // fault-injector window: fault raised -> cleared
+  kFailover,       // shard crash detected -> standby serving again
 };
-inline constexpr std::size_t kStageCount = 10;
+inline constexpr std::size_t kStageCount = 12;
 [[nodiscard]] const char* stage_name(Stage s);
 
 // Track identity for the Perfetto export: `pid` groups rows per actor

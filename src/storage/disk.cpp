@@ -40,6 +40,7 @@ SimTime Disk::service(IoKind kind, BlockNo block, std::uint32_t nblocks) {
   }
   t += SimTime::seconds_f(double(nblocks) * double(kBlockSize) /
                           params_.transfer_bytes_per_sec);
+  if (slow_factor_ != 1.0) t = t * slow_factor_;
 
   trace_.record(TraceEvent{sim_->now(), kind, block, nblocks, signed_distance});
   head_ = block + nblocks;

@@ -69,6 +69,13 @@ class Disk {
   // Wipe volatile statistics (not the content store).
   void reset_stats();
 
+  // Fail-slow injection: every subsequent service time is multiplied by
+  // `f` (>= 1; 1 restores health). Models a degraded spindle — media
+  // retries, vibration, a dying motor — without touching the RNG stream,
+  // so a slowed run draws the same rotational positions as a healthy one.
+  void set_slow_factor(double f) { slow_factor_ = f; }
+  [[nodiscard]] double slow_factor() const { return slow_factor_; }
+
  private:
   [[nodiscard]] redbud::sim::SimTime seek_time(std::uint64_t distance) const;
 
@@ -83,6 +90,7 @@ class Disk {
   std::uint64_t blocks_written_ = 0;
   std::uint64_t blocks_read_ = 0;
   redbud::sim::SimTime busy_time_ = redbud::sim::SimTime::zero();
+  double slow_factor_ = 1.0;
 };
 
 }  // namespace redbud::storage

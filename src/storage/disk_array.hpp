@@ -80,6 +80,11 @@ class DiskArray {
   [[nodiscard]] const Disk& disk(std::uint32_t device) const {
     return *disks_[device];
   }
+  // Fail-slow injection on one spindle (see Disk::set_slow_factor). Must
+  // be called from the array's partition.
+  void set_disk_slow_factor(std::uint32_t device, double f) {
+    disks_[device]->set_slow_factor(f);
+  }
   [[nodiscard]] IoScheduler& scheduler(std::uint32_t device) {
     return *schedulers_[device];
   }

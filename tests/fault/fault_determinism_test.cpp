@@ -1,0 +1,254 @@
+// Fault-schedule determinism. Two contracts, matching the kernel's:
+//
+//  1. Metadata plane, cross-kernel: a metadata-only churn under a full
+//     mixed fault schedule (slow disks, lossy links, a shard crash with
+//     failover) completes every op at the same simulated instant whether
+//     the kernel is serial or partitioned over 2 or 4 workers. Faults are
+//     partition-local timers and per-node RNG draws at send entry, so no
+//     part of the fault path may depend on worker interleaving.
+//
+//  2. Data plane, per-kernel double-run: a write/fsync churn replays
+//     itself exactly — op instants, event totals, drop counts — for each
+//     worker count. (Serial and partitioned data-path timings differ by
+//     design: the partitioned DiskArray charges the durable-ack FC hop
+//     that the serial path folds into the submit leg, so cross-kernel
+//     identity is only promised for the metadata plane, exactly like the
+//     pre-existing ParallelCluster contract.)
+//
+// Naming: suites start with "Parallel" for the TSan job's `ctest -R
+// Parallel` filter.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/recovery.hpp"
+#include "fault/injector.hpp"
+#include "fault/schedule.hpp"
+#include "sim/random.hpp"
+
+namespace redbud::fault {
+namespace {
+
+using client::CommitMode;
+using core::Cluster;
+using core::ClusterParams;
+using net::Status;
+using redbud::sim::Process;
+using redbud::sim::Rng;
+using redbud::sim::SimTime;
+using redbud::sim::Simulation;
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+ClusterParams faulty_cluster(std::uint32_t nthreads) {
+  ClusterParams p;
+  p.nclients = 4;
+  p.nshards = 2;
+  p.nthreads = nthreads;
+  p.array.ndisks = 2;
+  p.array.disk.total_blocks = 1 << 20;
+  p.metadata_disk.total_blocks = 1 << 20;
+  p.journal.region_blocks = 1 << 16;
+  p.client.mode = CommitMode::kDelayed;
+  p.client.chunk_blocks = 1024;
+  p.client.rpc_retry = true;  // faults in the schedule need the retry path
+  return p;
+}
+
+FaultScheduleParams mixed_faults(std::uint64_t seed) {
+  FaultScheduleParams fp;
+  fp.seed = seed;
+  fp.window_start = SimTime::millis(40);
+  fp.window_end = SimTime::millis(300);
+  fp.min_duration = SimTime::millis(20);
+  fp.max_duration = SimTime::millis(90);
+  fp.slow_disks = 2;
+  fp.lossy_links = 2;
+  fp.link_partitions = 1;
+  fp.shard_crashes = 1;
+  return fp;
+}
+
+// Metadata-only churn: create / remove with a private RNG stream, long
+// enough to straddle the whole fault window. Retries ride out the crash
+// and the lossy links; idempotent remove absorbs duplicate execution.
+Process meta_churn(Simulation& sim, client::ClientFs& fs,
+                   std::uint32_t client_id, std::vector<std::int64_t>* log) {
+  Rng rng(7000 + client_id);
+  co_await sim.delay(SimTime::micros(211 * client_id));
+  for (int i = 0; i < 90; ++i) {
+    const std::string name =
+        "c" + std::to_string(client_id) + "_f" + std::to_string(i);
+    auto cfut = fs.create(net::kRootDir, name);
+    const net::FileId id = co_await cfut;
+    EXPECT_NE(id, net::kInvalidFile);
+    log->push_back(sim.now().ns());
+    if (id == net::kInvalidFile) co_return;
+    if (i % 3 == 0) {
+      auto rfut = fs.remove(net::kRootDir, name);
+      EXPECT_EQ(co_await rfut, Status::kOk);
+      log->push_back(sim.now().ns());
+    }
+    co_await sim.delay(SimTime::micros(400 + rng.next_below(2600)));
+  }
+}
+
+// Data-path churn: create / write / fsync / remove.
+Process data_churn(Simulation& sim, client::ClientFs& fs,
+                   std::uint32_t client_id, std::vector<std::int64_t>* log) {
+  Rng rng(7000 + client_id);
+  co_await sim.delay(SimTime::micros(211 * client_id));
+  for (int i = 0; i < 60; ++i) {
+    const std::string name =
+        "c" + std::to_string(client_id) + "_f" + std::to_string(i);
+    auto cfut = fs.create(net::kRootDir, name);
+    const net::FileId id = co_await cfut;
+    EXPECT_NE(id, net::kInvalidFile);
+    log->push_back(sim.now().ns());
+    if (id == net::kInvalidFile) co_return;
+    auto wfut = fs.write(id, 0, 16384);
+    EXPECT_EQ(co_await wfut, Status::kOk);
+    log->push_back(sim.now().ns());
+    if (i % 4 == 0) {
+      auto sfut = fs.fsync(id);
+      EXPECT_EQ(co_await sfut, Status::kOk);
+      log->push_back(sim.now().ns());
+    }
+    if (i % 5 == 0) {
+      auto rfut = fs.remove(net::kRootDir, name);
+      EXPECT_EQ(co_await rfut, Status::kOk);
+      log->push_back(sim.now().ns());
+    }
+    co_await sim.delay(SimTime::micros(400 + rng.next_below(2600)));
+  }
+}
+
+struct RunDigest {
+  std::uint64_t ops = 0;      // FNV over every op completion instant
+  std::uint64_t events = 0;   // kernel event total (per-mode quantity:
+                              // mailbox hops differ from coroutine hops,
+                              // so only compare at equal worker counts)
+  std::uint64_t drops = 0;    // frames the lossy links ate
+  std::uint64_t injected = 0;
+  bool consistent = false;
+
+  bool operator==(const RunDigest&) const = default;
+
+  // Cross-kernel comparison: everything except the event total.
+  [[nodiscard]] bool same_run(const RunDigest& o) const {
+    return ops == o.ops && drops == o.drops && injected == o.injected &&
+           consistent == o.consistent;
+  }
+};
+
+using Churn = Process (*)(Simulation&, client::ClientFs&, std::uint32_t,
+                          std::vector<std::int64_t>*);
+
+RunDigest run_faulty_churn(std::uint32_t nthreads, std::uint64_t seed,
+                           Churn churn) {
+  Cluster c(faulty_cluster(nthreads));
+  const auto& cp = c.params();
+  FaultSchedule sched = FaultSchedule::generate(
+      mixed_faults(seed), cp.array.ndisks, cp.nclients, cp.nshards);
+  FaultInjector inj(c, std::move(sched));
+  inj.arm();
+  c.start();
+
+  std::vector<std::vector<std::int64_t>> logs(c.nclients());
+  std::vector<redbud::sim::ProcRef> refs;
+  for (std::size_t i = 0; i < c.nclients(); ++i) {
+    Simulation& csim = c.client_sim(i);
+    refs.push_back(csim.spawn(
+        churn(csim, c.client(i), static_cast<std::uint32_t>(i), &logs[i])));
+  }
+  c.run_until(SimTime::seconds(5));
+  c.check_failures();
+  for (const auto& r : refs) EXPECT_TRUE(r.done());
+
+  // Every fault raised and cleared, every shard serving again.
+  EXPECT_EQ(inj.total_injected(), inj.schedule().size());
+  EXPECT_EQ(inj.total_cleared(), inj.schedule().size());
+  for (std::uint32_t s = 0; s < c.nshards(); ++s) {
+    EXPECT_FALSE(c.shard_crashed(s));
+  }
+  if (inj.injected(FaultKind::kShardCrash) > 0) {
+    EXPECT_EQ(c.failovers_completed(), inj.injected(FaultKind::kShardCrash));
+  }
+
+  RunDigest d;
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const auto& log : logs) {
+    for (const auto t : log) h = fnv_mix(h, static_cast<std::uint64_t>(t));
+  }
+  d.ops = h;
+  d.events = c.events_processed();
+  d.drops = c.network().messages_dropped();
+  d.injected = inj.total_injected();
+  d.consistent = core::check_consistency(c).consistent();
+  return d;
+}
+
+TEST(ParallelFaultDeterminism, ScheduleIsAPureFunctionOfSeedAndTopology) {
+  const auto a = FaultSchedule::generate(mixed_faults(11), 2, 4, 2);
+  const auto b = FaultSchedule::generate(mixed_faults(11), 2, 4, 2);
+  EXPECT_EQ(a.digest(), b.digest());
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.size(), 6u);  // 2 + 2 + 1 + 1 events requested
+
+  const auto other = FaultSchedule::generate(mixed_faults(12), 2, 4, 2);
+  EXPECT_NE(a.digest(), other.digest());
+
+  // Crash targets are distinct shards even when more crashes are asked
+  // for than shards exist.
+  auto fp = mixed_faults(3);
+  fp.shard_crashes = 8;
+  const auto crashes = FaultSchedule::generate(fp, 2, 4, 2);
+  std::vector<std::uint32_t> crash_targets;
+  for (const auto& e : crashes.events()) {
+    if (e.kind == FaultKind::kShardCrash) crash_targets.push_back(e.target);
+  }
+  ASSERT_EQ(crash_targets.size(), 2u);
+  EXPECT_NE(crash_targets[0], crash_targets[1]);
+}
+
+TEST(ParallelFaultDeterminism, MetadataRunIdenticalForAnyWorkerCount) {
+  const auto serial = run_faulty_churn(1, 42, meta_churn);
+  EXPECT_GT(serial.injected, 0u);
+  EXPECT_TRUE(serial.consistent);
+
+  const auto two = run_faulty_churn(2, 42, meta_churn);
+  const auto four = run_faulty_churn(4, 42, meta_churn);
+  EXPECT_TRUE(serial.same_run(two))
+      << "fault replay diverged between serial and 2-thread kernels";
+  EXPECT_TRUE(serial.same_run(four))
+      << "fault replay diverged between serial and 4-thread kernels";
+  // And the partitioned kernel replays itself, event-for-event.
+  EXPECT_EQ(two, run_faulty_churn(2, 42, meta_churn));
+}
+
+TEST(ParallelFaultDeterminism, DataPathRunReplaysItselfPerWorkerCount) {
+  for (const std::uint32_t nthreads : {1u, 2u, 4u}) {
+    const auto first = run_faulty_churn(nthreads, 42, data_churn);
+    EXPECT_GT(first.injected, 0u);
+    EXPECT_TRUE(first.consistent);
+    EXPECT_EQ(first, run_faulty_churn(nthreads, 42, data_churn))
+        << "data-path fault replay diverged at nthreads=" << nthreads;
+  }
+}
+
+TEST(ParallelFaultDeterminism, DifferentSeedsProduceDifferentRuns) {
+  const auto a = run_faulty_churn(1, 42, data_churn);
+  const auto b = run_faulty_churn(1, 43, data_churn);
+  EXPECT_NE(a.ops, b.ops);
+}
+
+}  // namespace
+}  // namespace redbud::fault

@@ -23,6 +23,7 @@ struct Rig {
             [nic_mbps] {
               NetworkParams p;
               p.nic_bytes_per_second = nic_mbps * 1024 * 1024;
+              p.loss_rate = 0.0;  // congestion timings assume no loss
               return p;
             }()),
         server_node(net.add_node()),

@@ -18,6 +18,7 @@ TEST(Network, SendDeliversAfterEgressFabricIngress) {
   np.nic_bytes_per_second = 100 * kMiB;
   np.link_latency = SimTime::micros(30);
   np.switch_latency = SimTime::micros(10);
+  np.loss_rate = 0.0;  // timing below assumes a lossless fabric
   Network net(sim, np);
   const auto a = net.add_node();
   const auto b = net.add_node();
@@ -38,6 +39,7 @@ TEST(Network, ManySendersCongestReceiverIngress) {
   np.nic_bytes_per_second = 10 * kMiB;
   np.link_latency = SimTime::zero();
   np.switch_latency = SimTime::zero();
+  np.loss_rate = 0.0;
   Network net(sim, np);
   const auto server = net.add_node();
   std::vector<SimTime> done(4);
@@ -63,6 +65,7 @@ TEST(Network, SendsBetweenDistinctPairsProceedInParallel) {
   np.nic_bytes_per_second = 10 * kMiB;
   np.link_latency = SimTime::zero();
   np.switch_latency = SimTime::zero();
+  np.loss_rate = 0.0;
   Network net(sim, np);
   const auto a = net.add_node();
   const auto b = net.add_node();
@@ -107,6 +110,90 @@ TEST(Network, CountsMessagesAndBytes) {
   sim.run();
   EXPECT_EQ(net.messages_sent(), 2u);
   EXPECT_EQ(net.bytes_sent(), 1500u);
+  EXPECT_EQ(net.messages_dropped(), 0u);  // default fabric is lossless
+}
+
+TEST(Network, LossyLinkDropsFramesButKeepsSurvivorOrder) {
+  // A lossy link thins the stream; it never reorders it. Frames share one
+  // egress pipe, so the survivors must complete in send order.
+  Simulation sim;
+  NetworkParams np;
+  np.nic_bytes_per_second = 10 * kMiB;
+  np.link_latency = SimTime::micros(30);
+  np.switch_latency = SimTime::micros(10);
+  np.loss_rate = 0.0;
+  Network net(sim, np);
+  const auto a = net.add_node();
+  const auto b = net.add_node();
+  net.set_link_loss(a, 0.4);
+  constexpr int kFrames = 64;
+  std::vector<int> arrivals;
+  for (int i = 0; i < kFrames; ++i) {
+    net.deliver(a, b, 1000, [i, &arrivals] { arrivals.push_back(i); });
+  }
+  sim.run();
+  EXPECT_GT(net.link_dropped(a), 0u) << "loss 0.4 over 64 frames";
+  EXPECT_LT(arrivals.size(), std::size_t{kFrames});
+  EXPECT_EQ(arrivals.size() + net.link_dropped(a), std::size_t{kFrames});
+  EXPECT_EQ(net.messages_dropped(), net.link_dropped(a));
+  for (std::size_t k = 1; k < arrivals.size(); ++k) {
+    EXPECT_GT(arrivals[k], arrivals[k - 1]) << "survivors reordered";
+  }
+}
+
+TEST(Network, DroppedFramesStillConsumeEgress) {
+  // Loss happens in the fabric, after the NIC: a dropped frame occupies
+  // the egress pipe exactly like a delivered one, so a healthy frame
+  // queued behind two lost 1s-transfers lands at 4s, not 2s.
+  Simulation sim;
+  NetworkParams np;
+  np.nic_bytes_per_second = 10 * kMiB;
+  np.link_latency = SimTime::zero();
+  np.switch_latency = SimTime::zero();
+  np.loss_rate = 0.0;
+  Network net(sim, np);
+  const auto a = net.add_node();
+  const auto b = net.add_node();
+  net.set_link_loss(a, 1.0);
+  int arrived = 0;
+  net.deliver(a, b, std::size_t(10 * kMiB), [&arrived] { ++arrived; });
+  net.deliver(a, b, std::size_t(10 * kMiB), [&arrived] { ++arrived; });
+  net.set_link_loss(a, 0.0);  // loss is drawn at deliver() entry
+  SimTime healthy_done = SimTime::zero();
+  sim.spawn([](Simulation& s, Network& n, NodeId from, NodeId to,
+               SimTime& out) -> Process {
+    co_await n.send(from, to, std::size_t(10 * kMiB));
+    out = s.now();
+  }(sim, net, a, b, healthy_done));
+  sim.run();
+  EXPECT_EQ(arrived, 0);
+  EXPECT_EQ(net.link_dropped(a), 2u);
+  // 2s of dead egress ahead of it, then 1s egress + 1s ingress.
+  EXPECT_EQ(healthy_done, SimTime::seconds(4));
+}
+
+TEST(Network, ExtraLinkDelayShiftsArrival) {
+  Simulation sim;
+  NetworkParams np;
+  np.nic_bytes_per_second = 100 * kMiB;
+  np.link_latency = SimTime::micros(30);
+  np.switch_latency = SimTime::micros(10);
+  np.loss_rate = 0.0;
+  Network net(sim, np);
+  const auto a = net.add_node();
+  const auto b = net.add_node();
+  net.set_link_delay(a, SimTime::millis(3));
+  SimTime done = SimTime::zero();
+  sim.spawn([](Simulation& s, Network& n, NodeId from, NodeId to,
+               SimTime& out) -> Process {
+    co_await n.send(from, to, std::size_t(100 * kMiB));
+    out = s.now();
+  }(sim, net, a, b, done));
+  sim.run();
+  // The lossless-path timing from SendDeliversAfterEgressFabricIngress,
+  // shifted by exactly the injected 3ms.
+  EXPECT_EQ(done,
+            SimTime::seconds(2) + SimTime::micros(70) + SimTime::millis(3));
 }
 
 }  // namespace

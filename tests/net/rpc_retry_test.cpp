@@ -1,0 +1,196 @@
+// Tests for at-least-once RPC: exponential backoff retransmission, retry
+// budget exhaustion, server-side dedup + reply cache, and the death
+// contract for retry schedules that violate the network's RTT floor.
+#include <gtest/gtest.h>
+
+#include "net/rpc.hpp"
+
+namespace redbud::net {
+namespace {
+
+using redbud::sim::Process;
+using redbud::sim::SimTime;
+using redbud::sim::Simulation;
+
+struct Rig {
+  Simulation sim;
+  Network net;
+  NodeId client_node, server_node;
+  RpcEndpoint client, server;
+
+  Rig()
+      : net(sim, NetworkParams{}),
+        client_node(net.add_node()),
+        server_node(net.add_node()),
+        client(sim, net, client_node),
+        server(sim, net, server_node) {}
+
+  void spawn_echo_server(SimTime service_time = SimTime::micros(50)) {
+    sim.spawn([](Simulation& s, RpcEndpoint& srv, SimTime svc) -> Process {
+      for (;;) {
+        IncomingRpc rpc = co_await srv.incoming().recv();
+        co_await s.delay(svc);
+        StatResp resp;
+        resp.size_bytes = 4242;
+        srv.reply(rpc, resp);
+      }
+    }(sim, server, service_time));
+  }
+};
+
+TEST(RpcRetry, BackoffLadderThenExhaustionSurfacesError) {
+  Rig rig;
+  rig.server.set_down(true);  // every attempt evaporates at the dark NIC
+  RetryPolicy policy;
+  policy.timeout = SimTime::millis(5);
+  policy.backoff = 2.0;
+  policy.max_timeout = SimTime::millis(20);
+  policy.max_attempts = 4;
+
+  bool resolved = false;
+  RpcResult res;
+  SimTime resolved_at;
+  rig.sim.spawn([](Simulation& s, Rig& r, RetryPolicy pol, bool* done,
+                   RpcResult* out, SimTime* at) -> Process {
+    auto fut = r.client.call_retry(r.server, StatReq{7}, pol);
+    *out = co_await fut;
+    *at = s.now();
+    *done = true;
+  }(rig.sim, rig, policy, &resolved, &res, &resolved_at));
+  rig.sim.run_until(SimTime::seconds(1));
+
+  ASSERT_TRUE(resolved) << "exhausted retry calls must still resolve";
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.attempts, 4u);
+  // Transmissions at 0, 5, 15, 35 ms (5 -> 10 -> 20 -> capped 20); the
+  // last timeout fires at exactly 55 ms.
+  EXPECT_EQ(resolved_at, SimTime::millis(55));
+  EXPECT_EQ(rig.client.retries_sent(), 3u);
+  EXPECT_EQ(rig.client.retries_exhausted(), 1u);
+  EXPECT_EQ(rig.server.calls_received(), 0u);
+  EXPECT_EQ(rig.server.dropped_while_down(), 4u);
+}
+
+TEST(RpcRetry, RecoveredServerAnswersALaterAttempt) {
+  Rig rig;
+  rig.spawn_echo_server();
+  rig.server.set_down(true);
+  // The host comes back mid-ladder: attempts at 0 and 5 ms die, the 15 ms
+  // retransmission is served normally.
+  rig.sim.call_at(SimTime::millis(12),
+                  [&rig] { rig.server.set_down(false); });
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+
+  RpcResult res;
+  rig.sim.spawn([](Simulation&, Rig& r, RetryPolicy pol,
+                   RpcResult* out) -> Process {
+    auto fut = r.client.call_retry(r.server, StatReq{7}, pol);
+    *out = co_await fut;
+  }(rig.sim, rig, policy, &res));
+  rig.sim.run_until(SimTime::seconds(1));
+
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.attempts, 3u);
+  EXPECT_EQ(std::get<StatResp>(res.body).size_bytes, 4242u);
+  EXPECT_EQ(rig.server.calls_received(), 1u);  // executed exactly once
+  EXPECT_EQ(rig.server.dropped_while_down(), 2u);
+}
+
+TEST(RpcRetry, LostReplyIsServedFromTheReplyCache) {
+  Rig rig;
+  rig.spawn_echo_server();
+  // Lose the server's reply (request delivered fine), then heal the link
+  // before the retransmission arrives: the server must answer the dup
+  // from its reply cache without re-executing.
+  rig.sim.call_at(SimTime::micros(60), [&rig] {
+    rig.net.set_link_loss(rig.server_node, 1.0);
+  });
+  rig.sim.call_at(SimTime::millis(4), [&rig] {
+    rig.net.set_link_loss(rig.server_node, 0.0);
+  });
+  RetryPolicy policy;
+
+  RpcResult res;
+  rig.sim.spawn([](Simulation&, Rig& r, RetryPolicy pol,
+                   RpcResult* out) -> Process {
+    auto fut = r.client.call_retry(r.server, StatReq{7}, pol);
+    *out = co_await fut;
+  }(rig.sim, rig, policy, &res));
+  rig.sim.run_until(SimTime::seconds(1));
+
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.attempts, 2u);
+  EXPECT_EQ(rig.server.calls_received(), 1u);  // no second execution
+  EXPECT_EQ(rig.server.dup_replies_served(), 1u);
+  EXPECT_EQ(rig.net.link_dropped(rig.server_node), 1u);
+}
+
+TEST(RpcRetry, RetransmitOfAnInflightRequestIsDropped) {
+  Rig rig;
+  // Service slower than the first timeout: the retransmission arrives
+  // while the original is still executing and must be swallowed by the
+  // in-flight dedup set; the eventual reply answers the one caller.
+  rig.spawn_echo_server(SimTime::millis(8));
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+
+  RpcResult res;
+  rig.sim.spawn([](Simulation&, Rig& r, RetryPolicy pol,
+                   RpcResult* out) -> Process {
+    auto fut = r.client.call_retry(r.server, StatReq{7}, pol);
+    *out = co_await fut;
+  }(rig.sim, rig, policy, &res));
+  rig.sim.run_until(SimTime::seconds(1));
+
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.attempts, 2u);
+  EXPECT_EQ(rig.server.calls_received(), 1u);
+  EXPECT_EQ(rig.server.dup_requests_dropped(), 1u);
+  EXPECT_EQ(rig.client.late_replies(), 0u);
+}
+
+TEST(RpcRetry, CallResultWrapsASingleShotCall) {
+  Rig rig;
+  rig.spawn_echo_server();
+  RpcResult res;
+  rig.sim.spawn([](Simulation&, Rig& r, RpcResult* out) -> Process {
+    auto fut = r.client.call_result(r.server, StatReq{7});
+    *out = co_await fut;
+  }(rig.sim, rig, &res));
+  rig.sim.run_until(SimTime::seconds(1));
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.attempts, 1u);
+  EXPECT_EQ(std::get<StatResp>(res.body).size_bytes, 4242u);
+  EXPECT_EQ(rig.client.retries_sent(), 0u);
+}
+
+TEST(RpcRetryDeath, TimeoutBelowTheLookaheadFloorAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  // A first timeout below the fabric's min RTT (which also bounds the
+  // parallel kernel's lookahead window) could never observe a reply;
+  // call_retry refuses the schedule outright.
+  EXPECT_DEATH(
+      {
+        Rig rig;
+        RetryPolicy policy;
+        policy.timeout = SimTime::micros(10);  // min_rtt is 80 us
+        (void)rig.client.call_retry(rig.server, StatReq{1}, policy);
+      },
+      "lookahead");
+}
+
+TEST(RpcRetryDeath, ZeroAttemptBudgetAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Rig rig;
+        RetryPolicy policy;
+        policy.max_attempts = 0;
+        (void)rig.client.call_retry(rig.server, StatReq{1}, policy);
+      },
+      "zero attempts");
+}
+
+}  // namespace
+}  // namespace redbud::net
