@@ -10,7 +10,8 @@ using namespace redbud;
 using namespace redbud::workload;
 using core::Protocol;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options cli = bench::Options::parse(argc, argv);
   core::print_banner(std::cout,
                      "Ablation — space delegation chunk size (xcdn-32KB)",
                      "merge ratio and throughput vs chunk size");
@@ -30,14 +31,14 @@ int main() {
   for (int i = 0; i < 4; ++i) {
     const std::uint64_t mib = kChunksMib[i];
     Cell* cell = &cells[i];
-    runner.add(std::to_string(mib) + "MiB", [mib, cell]() -> std::uint64_t {
-      auto params = bench::paper_testbed(Protocol::kRedbudDelayed);
+    runner.add(std::to_string(mib) + "MiB", [mib, cell, cli]() -> std::uint64_t {
+      auto params = bench::paper_testbed(Protocol::kRedbudDelayed, cli);
       params.redbud.client.delegation = true;
       params.redbud.client.chunk_blocks = (mib << 20) / storage::kBlockSize;
       core::Testbed bed(params);
       bed.start();
       XcdnWorkload w(bench::xcdn_params(32));
-      auto opt = bench::paper_run();
+      auto opt = bench::paper_run(cli.smoke);
       auto* cluster = bed.cluster();
       opt.on_measure_start = [cluster] { cluster->array().reset_stats(); };
       auto r = run_workload(bed, w, opt);

@@ -25,7 +25,8 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options cli = bench::Options::parse(argc, argv);
   core::print_banner(std::cout,
                      "Ablation — commit pool sizing (xcdn-32KB)",
                      "ThreadNums_max x QueueLen_max sweep");
@@ -40,14 +41,14 @@ int main() {
       const std::size_t queue = kQueueCaps[qi];
       Row& row = rows[ti * std::size(kQueueCaps) + qi];
       runner.add("t" + std::to_string(threads) + "/q" + std::to_string(queue),
-                 [threads, queue, &row]() -> std::uint64_t {
-                   auto params = bench::paper_testbed(Protocol::kRedbudDelayed);
+                 [threads, queue, &row, cli]() -> std::uint64_t {
+                   auto params = bench::paper_testbed(Protocol::kRedbudDelayed, cli);
                    params.redbud.client.pool.max_threads = threads;
                    params.redbud.client.pool.max_queue_len = queue;
                    core::Testbed bed(params);
                    bed.start();
                    XcdnWorkload w(bench::xcdn_params(32));
-                   auto opt = bench::paper_run();
+                   auto opt = bench::paper_run(cli.smoke);
                    auto r = run_workload(bed, w, opt);
 
                    auto* cluster = bed.cluster();

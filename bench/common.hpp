@@ -77,28 +77,57 @@ inline void write_obs_artifacts(core::Cluster& cluster, std::string name) {
   }
 }
 
-// Parse `--threads N` / `--threads=N`: the worker-thread count for the
-// partitioned simulation kernel (ClusterParams::nthreads). Benches hand
-// it to their testbeds and record it per row in BENCH_kernel.json;
-// absent, the kernel runs serial (1), byte-identical to the
-// pre-partitioning figures.
-inline unsigned parse_threads(int argc, char** argv, unsigned def = 1) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a == "--threads" && i + 1 < argc) {
-      return static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
-    }
-    if (a.rfind("--threads=", 0) == 0) {
-      return static_cast<unsigned>(std::strtoul(a.c_str() + 10, nullptr, 10));
-    }
-  }
-  return def;
-}
+// Command-line options shared by every bench binary.
+//
+//   --threads N   worker threads for the partitioned simulation kernel
+//                 (ClusterParams::nthreads); default 1 = the serial
+//                 kernel, byte-identical to the pre-partitioning figures
+//   --smoke       reduced grid / shortened run for CI smoke jobs
+//   --trace       enable span tracing (same effect as REDBUD_TRACE=1)
+//
+// Unknown arguments warn on stderr and are otherwise ignored, so adding a
+// flag never breaks an older bench invocation in a CI matrix.
+struct Options {
+  unsigned threads = 1;
+  bool smoke = false;
+  bool trace = false;
 
-inline core::TestbedParams paper_testbed(core::Protocol proto) {
+  static Options parse(int argc, char** argv) {
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--threads" && i + 1 < argc) {
+        o.threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (a.rfind("--threads=", 0) == 0) {
+        o.threads =
+            static_cast<unsigned>(std::strtoul(a.c_str() + 10, nullptr, 10));
+      } else if (a == "--smoke") {
+        o.smoke = true;
+      } else if (a == "--trace") {
+        o.trace = true;
+      } else {
+        std::cerr << "warning: unknown bench option '" << a
+                  << "' (known: --threads N, --smoke, --trace)\n";
+      }
+    }
+    if (o.threads == 0) o.threads = 1;
+    return o;
+  }
+
+  // Observability params honouring both --trace and REDBUD_TRACE.
+  [[nodiscard]] obs::ObsParams obs() const {
+    obs::ObsParams o = obs_from_env();
+    o.tracing.enabled = o.tracing.enabled || trace;
+    return o;
+  }
+};
+
+inline core::TestbedParams paper_testbed(core::Protocol proto,
+                                         const Options& opt = {}) {
   core::TestbedParams p;
   p.protocol = proto;
-  p.redbud.obs = obs_from_env();
+  p.redbud.obs = opt.obs();
+  p.redbud.nthreads = opt.threads;
   p.nclients = 7;  // eight-node cluster: one MDS + seven clients
   p.redbud.array.ndisks = 4;
   // Scaled-down client cache: the xcdn namespace must dwarf it, as the
@@ -110,10 +139,12 @@ inline core::TestbedParams paper_testbed(core::Protocol proto) {
   return p;
 }
 
-inline workload::RunOptions paper_run() {
+// Smoke runs keep the warmup (cold caches would distort every figure's
+// shape) but measure a quarter of the span.
+inline workload::RunOptions paper_run(bool smoke = false) {
   workload::RunOptions o;
   o.warmup = redbud::sim::SimTime::seconds(2);
-  o.duration = redbud::sim::SimTime::seconds(8);
+  o.duration = redbud::sim::SimTime::seconds(smoke ? 2 : 8);
   return o;
 }
 

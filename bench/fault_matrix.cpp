@@ -268,11 +268,9 @@ void write_faults_json(const std::vector<CellResult>& cells,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--smoke") smoke = true;
-  }
-  const std::uint32_t nthreads = bench::parse_threads(argc, argv, 1);
+  const bench::Options cli = bench::Options::parse(argc, argv);
+  const bool smoke = cli.smoke;
+  const std::uint32_t nthreads = cli.threads;
   core::print_banner(
       std::cout, "Fault scenario matrix",
       smoke ? "reduced CI grid: fault kind x intensity, 2 shards"

@@ -54,7 +54,8 @@ std::unique_ptr<Workload> make_workload(const std::string& which) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options cli = bench::Options::parse(argc, argv);
   core::print_banner(
       std::cout, "Figure 3 — Overall performance",
       "throughput normalised to original Redbud (higher is better)");
@@ -79,11 +80,11 @@ int main() {
       const std::string name = workloads[wi].first;
       Row& row = rows[wi];
       runner.add(name + "/" + core::protocol_name(kProtocols[pi]),
-                 [name, pi, &row]() -> std::uint64_t {
+                 [name, pi, &row, cli]() -> std::uint64_t {
                    auto w = make_workload(name);
-                   core::Testbed bed(bench::paper_testbed(kProtocols[pi]));
+                   core::Testbed bed(bench::paper_testbed(kProtocols[pi], cli));
                    bed.start();
-                   auto opt = bench::paper_run();
+                   auto opt = bench::paper_run(cli.smoke);
                    auto r = run_workload(bed, *w, opt);
                    // Time-driven workloads compare ops/s; the fixed-work NPB
                    // job compares aggregate bandwidth (inverse makespan).

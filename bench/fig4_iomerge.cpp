@@ -32,7 +32,8 @@ constexpr Config kConfigs[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options cli = bench::Options::parse(argc, argv);
   core::print_banner(std::cout, "Figure 4 — I/O merge ratio",
                      "xcdn, delegation chunk 16 MiB; merge ratio = merged "
                      "requests / submitted requests on the data array");
@@ -50,15 +51,15 @@ int main() {
       const std::uint32_t kb = kSizesKb[si];
       double* out = &ratio[si][ci];
       runner.add(std::to_string(kb) + "KB/" + kConfigs[ci].name,
-                 [kb, ci, out]() -> std::uint64_t {
-                   auto params = bench::paper_testbed(kConfigs[ci].protocol);
+                 [kb, ci, out, cli]() -> std::uint64_t {
+                   auto params = bench::paper_testbed(kConfigs[ci].protocol, cli);
                    params.redbud.client.delegation = kConfigs[ci].delegation;
                    params.redbud.client.chunk_blocks =
                        (16ull << 20) / storage::kBlockSize;  // the paper's 16 MB
                    core::Testbed bed(params);
                    bed.start();
                    XcdnWorkload w(bench::xcdn_params(kb));
-                   auto opt = bench::paper_run();
+                   auto opt = bench::paper_run(cli.smoke);
                    auto* cluster = bed.cluster();
                    opt.on_measure_start = [cluster] {
                      cluster->array().reset_stats();

@@ -35,7 +35,8 @@ constexpr Config kConfigs[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options cli = bench::Options::parse(argc, argv);
   core::print_banner(std::cout, "Figure 5 — Disk seeks (blktrace)",
                      "xcdn; seek fraction = dispatches requiring head "
                      "movement; CSV scatter in bench_out/fig5/");
@@ -46,12 +47,12 @@ int main() {
 
   for (std::uint32_t kb : {32u, 1024u}) {
     for (const auto& cfg : kConfigs) {
-      auto params = bench::paper_testbed(cfg.protocol);
+      auto params = bench::paper_testbed(cfg.protocol, cli);
       params.redbud.client.delegation = cfg.delegation;
       core::Testbed bed(params);
       bed.start();
       XcdnWorkload w(bench::xcdn_params(kb));
-      auto opt = bench::paper_run();
+      auto opt = bench::paper_run(cli.smoke);
       auto* cluster = bed.cluster();
       opt.on_measure_start = [cluster] {
         cluster->array().reset_stats();

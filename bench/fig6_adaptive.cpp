@@ -15,7 +15,8 @@ using namespace redbud;
 using namespace redbud::workload;
 using core::Protocol;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options cli = bench::Options::parse(argc, argv);
   core::print_banner(std::cout,
                      "Figure 6 — Commit threads vs commit queue length",
                      "Redbud + delayed commit, max 9 commit threads; "
@@ -41,7 +42,7 @@ int main() {
       w = std::make_unique<NpbBtWorkload>();
     }
 
-    auto params = bench::paper_testbed(Protocol::kRedbudDelayed);
+    auto params = bench::paper_testbed(Protocol::kRedbudDelayed, cli);
     params.redbud.client.pool.max_threads = 9;  // the paper's maximum
     core::Testbed bed(params);
     bed.start();
@@ -49,7 +50,7 @@ int main() {
     auto& pool = bed.cluster()->client(0).commit_pool();
     pool.enable_tracing(redbud::sim::SimTime::millis(100));
 
-    auto opt = bench::paper_run();
+    auto opt = bench::paper_run(cli.smoke);
     opt.duration = redbud::sim::SimTime::seconds(12);
     (void)run_workload(bed, *w, opt);
 

@@ -14,7 +14,8 @@ using namespace redbud;
 using namespace redbud::workload;
 using core::Protocol;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options cli = bench::Options::parse(argc, argv);
   core::print_banner(std::cout,
                      "Figure 7 — Compound degree vs MDS server daemons",
                      "xcdn-8KB (MDS-bound); per-client throughput (MB/s)");
@@ -28,7 +29,7 @@ int main() {
   for (auto nd : daemon_counts) {
     std::vector<std::string> cells = {std::to_string(nd) + " daemons"};
     for (auto degree : degrees) {
-      auto params = bench::paper_testbed(Protocol::kRedbudDelayed);
+      auto params = bench::paper_testbed(Protocol::kRedbudDelayed, cli);
       params.redbud.mds.ndaemons = nd;
       params.redbud.client.compound.adaptive = false;
       params.redbud.client.compound.fixed_degree = degree;
@@ -40,7 +41,7 @@ int main() {
       auto xp = bench::xcdn_params(8);
       xp.threads_per_client = 16;
       XcdnWorkload w(xp);
-      auto opt = bench::paper_run();
+      auto opt = bench::paper_run(cli.smoke);
       auto r = run_workload(bed, w, opt);
       bench::write_obs_artifacts(*bed.cluster(),
                                  "fig7_d" + std::to_string(nd) + "_c" +

@@ -1,0 +1,333 @@
+// Open-loop load sweep: offered load vs latency at 10^5 live clients.
+//
+// The capstone for the flyweight client refactor: a 4-shard cluster
+// serves 8 client hosts, each multiplexing thousands of flyweight
+// sessions through one ClientFs engine (shared page pool, shared commit
+// slab, one open-loop dispatcher per host — see src/client/flyweight.hpp
+// and src/workload/openloop.hpp). The sweep drives Poisson arrivals at a
+// range of offered loads and reports per-op-class p50/p99 into
+// bench_out/BENCH_load.json (schemas/bench_load.schema.json).
+//
+// Live-client count and pooled-memory occupancy are read back from the
+// obs gauge family (client_host.sessions_live, page_pool.frames_in_use,
+// commit_slab.in_use) rather than trusted from the driver, and process
+// peak memory (VmHWM) is recorded per point so memory-per-client is a
+// measured number, not an estimate.
+//
+// Runs under the partitioned kernel with force_partitioned, so results
+// are bit-identical for any --threads value. --smoke shrinks the fleet
+// to 10^4 clients and two load points for CI.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/flyweight.hpp"
+#include "common.hpp"
+#include "core/cluster.hpp"
+#include "core/metrics.hpp"
+#include "sim/random.hpp"
+#include "workload/openloop.hpp"
+
+using namespace redbud;
+using client::ClientHost;
+using core::Cluster;
+using core::ClusterParams;
+using redbud::sim::Rng;
+using redbud::sim::SimTime;
+using workload::kNumOpClasses;
+using workload::op_class_name;
+using workload::OpClass;
+using workload::OpClassStats;
+using workload::OpenLoopEngine;
+using workload::OpenLoopParams;
+
+namespace {
+
+constexpr std::uint32_t kHosts = 8;
+constexpr std::uint32_t kShards = 4;
+
+struct MemSample {
+  std::uint64_t vm_rss_kb = 0;
+  std::uint64_t vm_hwm_kb = 0;
+};
+
+// Linux-only; both fields stay 0 elsewhere and the JSON records that.
+MemSample read_mem() {
+  MemSample m;
+  std::ifstream in("/proc/self/status");
+  std::string key;
+  while (in >> key) {
+    if (key == "VmRSS:") {
+      in >> m.vm_rss_kb;
+    } else if (key == "VmHWM:") {
+      in >> m.vm_hwm_kb;
+    } else {
+      in.ignore(256, '\n');
+    }
+  }
+  return m;
+}
+
+struct ClassResult {
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t measured = 0;
+  double p50_us = 0, p99_us = 0, mean_us = 0;
+};
+
+// One offered-load level. Past the array's saturation point an open-loop
+// queue grows without bound, so a finite drain window cannot empty it;
+// such points set expect_drain=false and report the leftover backlog as
+// data (drained=false, outstanding_at_end) instead of failing the sweep.
+struct LoadPoint {
+  double offered_ops;
+  bool expect_drain;
+};
+
+struct PointResult {
+  double offered_ops = 0;       // offered load, ops/s across the fleet
+  double measured_ops = 0;      // completed measured ops / measured span
+  double span_s = 0;
+  bool expect_drain = true;
+  bool drained = false;
+  std::uint64_t outstanding_end = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t peak_outstanding = 0;
+  std::uint64_t sessions_live = 0;
+  std::uint64_t sessions_peak = 0;
+  std::uint64_t pool_in_use = 0;
+  std::uint64_t pool_peak = 0;
+  std::uint64_t slab_in_use = 0;
+  std::uint64_t slab_peak = 0;
+  std::uint64_t prepare_failures = 0;
+  MemSample mem;
+  ClassResult cls[kNumOpClasses];
+  bool ok = false;
+};
+
+PointResult run_point(const LoadPoint& pt, std::uint32_t clients_per_host,
+                      unsigned nthreads) {
+  const double offered_ops = pt.offered_ops;
+  PointResult res;
+  res.offered_ops = offered_ops;
+  res.expect_drain = pt.expect_drain;
+
+  ClusterParams p;
+  p.nclients = kHosts;
+  p.nshards = kShards;
+  p.nthreads = nthreads;
+  // Identical results for every worker count (see sim/parallel.hpp).
+  p.force_partitioned = true;
+  p.array.ndisks = 4;
+  p.array.disk.total_blocks = 1 << 22;
+  p.metadata_disk.total_blocks = 1 << 22;
+  p.journal.region_blocks = 1 << 16;
+  p.client.cache_pages = 1 << 14;
+  auto cluster = std::make_unique<Cluster>(p);
+
+  std::vector<std::unique_ptr<ClientHost>> hosts;
+  std::vector<std::unique_ptr<OpenLoopEngine>> engines;
+  Rng master(0xC0FFEEull + std::uint64_t(offered_ops));
+  for (std::uint32_t h = 0; h < kHosts; ++h) {
+    hosts.push_back(std::make_unique<ClientHost>(cluster->client(h), h,
+                                                 h * clients_per_host));
+    hosts.back()->register_metrics(cluster->obs().registry);
+    OpenLoopParams op;
+    op.arrivals.kind = workload::ArrivalKind::kPoisson;
+    op.arrivals.rate = offered_ops / kHosts;
+    op.clients = clients_per_host;
+    op.files_per_client = 1;
+    op.write_bytes = 4 << 10;
+    op.read_bytes = 4 << 10;
+    op.prepare_parallelism = 128;
+    engines.push_back(std::make_unique<OpenLoopEngine>(
+        cluster->client_sim(h), *hosts.back(), op, master.split()));
+  }
+
+  Cluster& c = *cluster;
+  c.start();
+  std::vector<redbud::sim::SimFuture<redbud::sim::Done>> prep;
+  for (auto& e : engines) prep.push_back(e->prepare());
+  const SimTime t_start = SimTime::seconds(60);  // far past any prepare
+  const OpenLoopEngine::Schedule sched{t_start, t_start,
+                                       t_start + SimTime::seconds(5),
+                                       t_start + SimTime::seconds(5)};
+  for (auto& e : engines) e->start(sched);
+  // The drain window is generous (the commit backlog drains at disk
+  // speed), but bounded: points flagged expect_drain=false are allowed
+  // to finish with ops still queued — that is the overload signature.
+  c.run_until(t_start + SimTime::seconds(45));
+  c.check_failures();
+
+  res.ok = true;
+  for (const auto& fut : prep) {
+    if (!fut.ready()) {
+      res.ok = false;
+      std::fprintf(stderr, "    FAIL: prepare did not finish\n");
+    }
+  }
+
+  OpClassStats agg[kNumOpClasses];
+  for (auto& e : engines) {
+    for (std::size_t i = 0; i < kNumOpClasses; ++i) {
+      agg[i].merge(e->stats(static_cast<OpClass>(i)));
+    }
+    res.arrivals += e->arrivals_total();
+    res.shed += e->shed_total();
+    res.peak_outstanding += e->peak_outstanding();
+    res.prepare_failures += e->prepare_failures();
+    res.span_s = e->measured_span().to_seconds();
+    res.outstanding_end += e->outstanding();
+  }
+  res.drained = res.outstanding_end == 0;
+  if (!res.drained) {
+    if (res.expect_drain) {
+      res.ok = false;
+      std::fprintf(stderr, "    FAIL: %llu ops still in flight at drain end\n",
+                   static_cast<unsigned long long>(res.outstanding_end));
+    } else {
+      std::fprintf(stderr,
+                   "    note: %llu ops queued at drain end "
+                   "(expected past saturation)\n",
+                   static_cast<unsigned long long>(res.outstanding_end));
+    }
+  }
+  std::uint64_t measured_total = 0;
+  for (std::size_t i = 0; i < kNumOpClasses; ++i) {
+    ClassResult& r = res.cls[i];
+    r.issued = agg[i].issued;
+    r.completed = agg[i].completed;
+    r.failed = agg[i].failed;
+    r.measured = agg[i].latency.count();
+    if (r.measured > 0) {
+      r.p50_us = agg[i].latency.percentile(50).ns() / 1000.0;
+      r.p99_us = agg[i].latency.percentile(99).ns() / 1000.0;
+      r.mean_us = agg[i].latency.mean().ns() / 1000.0;
+    }
+    measured_total += r.measured;
+    if (r.failed != 0) {
+      res.ok = false;
+      std::fprintf(stderr, "    FAIL: %llu %s ops failed\n",
+                   static_cast<unsigned long long>(r.failed),
+                   op_class_name(OpClass(i)));
+    }
+  }
+  res.measured_ops =
+      res.span_s > 0 ? double(measured_total) / res.span_s : 0.0;
+
+  // Gauge-verified occupancy: the fleet size and pooled-resource usage as
+  // the obs registry sees them, not as the driver believes them to be.
+  const obs::MetricsRegistry& reg = c.obs().registry;
+  res.sessions_live = reg.sum("client_host.sessions_live");
+  res.sessions_peak = reg.sum("client_host.sessions_peak");
+  res.pool_in_use = reg.sum("page_pool.frames_in_use");
+  res.pool_peak = reg.sum("page_pool.frames_peak");
+  res.slab_in_use = reg.sum("commit_slab.in_use");
+  res.slab_peak = reg.sum("commit_slab.peak");
+  res.ok = res.ok &&
+           res.sessions_live == std::uint64_t(kHosts) * clients_per_host &&
+           res.prepare_failures == 0;
+  res.mem = read_mem();
+  return res;
+}
+
+void write_load_json(const std::vector<PointResult>& points,
+                     std::uint32_t clients_total, unsigned nthreads,
+                     bool smoke) {
+  std::filesystem::create_directories("bench_out");
+  std::ofstream out("bench_out/BENCH_load.json", std::ios::trunc);
+  out << "{\n  \"smoke\": " << (smoke ? "true" : "false")
+      << ",\n  \"nthreads\": " << nthreads << ",\n  \"hosts\": " << kHosts
+      << ",\n  \"shards\": " << kShards
+      << ",\n  \"clients_total\": " << clients_total << ",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const PointResult& r = points[i];
+    out << "    {\"offered_ops_per_sec\": " << r.offered_ops
+        << ", \"measured_ops_per_sec\": " << r.measured_ops
+        << ", \"measured_span_s\": " << r.span_s
+        << ", \"arrivals\": " << r.arrivals << ", \"shed\": " << r.shed
+        << ", \"peak_outstanding\": " << r.peak_outstanding
+        << ", \"drained\": " << (r.drained ? "true" : "false")
+        << ", \"outstanding_at_end\": " << r.outstanding_end
+        << ", \"sessions_live\": " << r.sessions_live
+        << ", \"sessions_peak\": " << r.sessions_peak
+        << ", \"pool_frames_in_use\": " << r.pool_in_use
+        << ", \"pool_frames_peak\": " << r.pool_peak
+        << ", \"commit_slab_in_use\": " << r.slab_in_use
+        << ", \"commit_slab_peak\": " << r.slab_peak
+        << ", \"vm_rss_kb\": " << r.mem.vm_rss_kb
+        << ", \"vm_hwm_kb\": " << r.mem.vm_hwm_kb << ",\n     \"classes\": {";
+    for (std::size_t k = 0; k < kNumOpClasses; ++k) {
+      const ClassResult& cr = r.cls[k];
+      out << (k ? ", " : "") << "\"" << op_class_name(OpClass(k))
+          << "\": {\"issued\": " << cr.issued
+          << ", \"completed\": " << cr.completed
+          << ", \"failed\": " << cr.failed
+          << ", \"measured\": " << cr.measured << ", \"p50_us\": " << cr.p50_us
+          << ", \"p99_us\": " << cr.p99_us << ", \"mean_us\": " << cr.mean_us
+          << "}";
+    }
+    out << "}}" << (i + 1 < points.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  std::fprintf(stderr, "  BENCH_load.json: %zu points, %u clients\n",
+               points.size(), clients_total);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options cli = bench::Options::parse(argc, argv);
+  const std::uint32_t clients_per_host = cli.smoke ? 1250 : 12500;
+  const std::uint32_t clients_total = clients_per_host * kHosts;
+  // Log-spaced offered loads spanning unsaturated, knee and overload (the
+  // 4-spindle array saturates near 2k random 4 KiB commits/s, so the top
+  // points exercise the open-loop valve, not just the service curve).
+  // Drain is asserted only up to the knee; the top points run the valve
+  // far past saturation, where an undrained backlog is the expected
+  // result, not a failure.
+  const std::vector<LoadPoint> loads =
+      cli.smoke ? std::vector<LoadPoint>{{1000, true}, {4000, true}}
+                : std::vector<LoadPoint>{
+                      {1000, true}, {4000, true}, {16000, false},
+                      {64000, false}};
+
+  core::print_banner(
+      std::cout, "Open-loop load sweep — flyweight client fleet",
+      std::to_string(clients_total) + " live clients over " +
+          std::to_string(kHosts) + " hosts, " + std::to_string(kShards) +
+          " MDS shards; offered load vs per-class latency");
+
+  std::vector<PointResult> points;
+  bool ok = true;
+  for (const LoadPoint& pt : loads) {
+    std::fprintf(stderr, "  point: %.0f ops/s offered...\n", pt.offered_ops);
+    PointResult r = run_point(pt, clients_per_host, cli.threads);
+    ok = ok && r.ok;
+    points.push_back(r);
+  }
+  write_load_json(points, clients_total, cli.threads, cli.smoke);
+
+  core::Table table({"offered ops/s", "measured ops/s", "write p50 us",
+                     "write p99 us", "fsync p99 us", "create p99 us", "shed",
+                     "drained", "live clients", "VmHWM MiB"});
+  for (const PointResult& r : points) {
+    table.add_row(
+        {core::Table::fmt(r.offered_ops, 0), core::Table::fmt(r.measured_ops, 0),
+         core::Table::fmt(r.cls[std::size_t(OpClass::kWrite)].p50_us, 0),
+         core::Table::fmt(r.cls[std::size_t(OpClass::kWrite)].p99_us, 0),
+         core::Table::fmt(r.cls[std::size_t(OpClass::kFsync)].p99_us, 0),
+         core::Table::fmt(r.cls[std::size_t(OpClass::kCreate)].p99_us, 0),
+         std::to_string(r.shed), r.drained ? "yes" : "no",
+         std::to_string(r.sessions_live),
+         core::Table::fmt(double(r.mem.vm_hwm_kb) / 1024.0, 0)});
+  }
+  table.print(std::cout);
+  std::cout << "sweep: " << (ok ? "OK" : "FAILED") << "\n";
+  return ok ? 0 : 1;
+}

@@ -171,11 +171,12 @@ int run_traced() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::string_view(argv[1]) == "--trace") return run_traced();
+  const bench::Options cli = bench::Options::parse(argc, argv);
+  if (cli.trace) return run_traced();
   // --threads N runs every configuration under the partitioned kernel
   // with N worker threads (default 1 = the serial kernel, byte-identical
   // to the pre-partitioning figures).
-  const unsigned kthreads = bench::parse_threads(argc, argv, 1);
+  const unsigned kthreads = cli.threads;
   core::print_banner(
       std::cout, "MDS scaling — sharded metadata service",
       "fileserver small-file workload; aggregate throughput vs shard count");

@@ -93,6 +93,11 @@ def main(argv):
         return 1
     if "cells" in doc:  # fault matrix artifact
         summary = f"{len(doc['cells'])} matrix cells"
+    elif "points" in doc:  # load sweep artifact
+        live = max((p["sessions_live"] for p in doc["points"]), default=0)
+        summary = (f"{len(doc['points'])} load points, "
+                   f"{doc.get('clients_total', 0)} clients "
+                   f"({live} gauge-verified live)")
     else:  # metrics snapshot artifact
         n_stages = len(doc.get("stages", []))
         n_metrics = len(doc.get("counters", {})) + len(doc.get("gauges", {})) \

@@ -26,7 +26,7 @@ BlockRange block_range(std::uint64_t offset, std::uint32_t nbytes) {
 }
 }  // namespace
 
-CommitPoolParams ClientFs::pool_params(const ClientFsParams& p) {
+CommitPoolParams ClientFs::pool_params(const ClientPersonality& p) {
   CommitPoolParams out = p.pool;
   if (p.rpc_retry) {
     out.rpc_retry = true;
@@ -39,35 +39,46 @@ ClientFs::ClientFs(redbud::sim::Simulation& sim, net::Network& network,
                    const core::ShardMap& smap,
                    std::vector<net::RpcEndpoint*> mds_shards,
                    storage::DiskArray& array, ClientFsParams params)
+    : ClientFs(sim, network, smap, std::move(mds_shards), array,
+               std::make_shared<const ClientPersonality>(params),
+               params.client_id) {}
+
+ClientFs::ClientFs(redbud::sim::Simulation& sim, net::Network& network,
+                   const core::ShardMap& smap,
+                   std::vector<net::RpcEndpoint*> mds_shards,
+                   storage::DiskArray& array,
+                   std::shared_ptr<const ClientPersonality> personality,
+                   std::uint32_t client_id)
     : sim_(&sim),
       smap_(smap),
       mds_(std::move(mds_shards)),
       array_(&array),
-      params_(params),
+      persona_(std::move(personality)),
+      client_id_(client_id),
       node_(network.add_node(sim)),
       endpoint_(sim, network, node_),
-      cache_(params.cache_pages),
-      pools_(smap.nshards(), DoubleSpacePool(params.chunk_blocks)),
+      cache_(persona_->cache_pages),
+      pools_(smap.nshards(), DoubleSpacePool(persona_->chunk_blocks)),
       queue_(sim),
-      compound_(params.compound, smap.nshards()),
+      compound_(persona_->compound, smap.nshards()),
       pool_daemons_(sim, queue_, endpoint_, mds_, compound_, cache_,
-                    pool_params(params)),
+                    pool_params(*persona_)),
       refill_done_(sim),
       refill_in_progress_(smap.nshards(), 0),
       refill_failed_(smap.nshards(), 0),
-      chunk_target_(smap.nshards(), params.chunk_blocks) {
+      chunk_target_(smap.nshards(), persona_->chunk_blocks) {
   assert(mds_.size() == smap_.nshards());
 }
 
 void ClientFs::start() {
   assert(!started_);
   started_ = true;
-  if (params_.mode == CommitMode::kDelayed) pool_daemons_.start();
+  if (persona_->mode == CommitMode::kDelayed) pool_daemons_.start();
 }
 
 void ClientFs::set_obs(obs::Obs* obs) {
   obs_ = obs;
-  const std::uint32_t id = params_.client_id;
+  const std::uint32_t id = client_id_;
   const std::uint32_t pid = obs::client_track(id);
   op_track_ = obs::Track{pid, 1};
   const std::string process = "client " + std::to_string(id);
@@ -162,8 +173,8 @@ std::uint64_t ClientFs::known_size(net::FileId file) const {
 
 redbud::sim::SimFuture<net::RpcResult> ClientFs::mds_call(
     std::uint32_t shard, net::RequestBody req, obs::TraceContext ctx) {
-  if (params_.rpc_retry) {
-    return endpoint_.call_retry(*mds_[shard], std::move(req), params_.retry,
+  if (persona_->rpc_retry) {
+    return endpoint_.call_retry(*mds_[shard], std::move(req), persona_->retry,
                                 ctx);
   }
   return endpoint_.call_result(*mds_[shard], std::move(req), ctx);
@@ -173,7 +184,7 @@ Process ClientFs::create_proc(net::DirId dir, std::string name,
                               SimPromise<net::FileId> p) {
   const obs::TraceContext octx = begin_op();
   const auto op_start = sim_->now();
-  co_await sim_->delay(params_.cpu_op);
+  co_await sim_->delay(persona_->cpu_op);
   const std::uint32_t shard = smap_.shard_of_name(dir, name);
   net::RequestBody req = net::CreateReq{dir, std::move(name)};
   auto fut = mds_call(shard, std::move(req), octx);
@@ -199,7 +210,7 @@ Process ClientFs::open_proc(net::DirId dir, std::string name,
                             SimPromise<OpenResult> p) {
   const obs::TraceContext octx = begin_op();
   const auto op_start = sim_->now();
-  co_await sim_->delay(params_.cpu_op);
+  co_await sim_->delay(persona_->cpu_op);
   const std::uint32_t shard = smap_.shard_of_name(dir, name);
   net::RequestBody req = net::LookupReq{dir, std::move(name)};
   auto fut = mds_call(shard, std::move(req), octx);
@@ -277,7 +288,7 @@ Process ClientFs::allocate_space(net::FileId file, std::uint64_t file_block,
   const std::uint32_t shard = smap_.shard_of_file(file);
   DoubleSpacePool& pool = pools_[shard];
   for (const auto& hole : holes) {
-    bool central = !(params_.delegation && pool.eligible(hole.count));
+    bool central = !(persona_->delegation && pool.eligible(hole.count));
     if (!central) {
       // Local allocation from the delegated double space pool.
       for (;;) {
@@ -359,7 +370,7 @@ Process ClientFs::refill_proc(std::uint32_t shard) {
     refill_failed_[shard] = 0;
     // Recover the chunk size gradually after a shrink.
     chunk_target_[shard] =
-        std::min(params_.chunk_blocks, chunk_target_[shard] * 2);
+        std::min(persona_->chunk_blocks, chunk_target_[shard] * 2);
   } else {
     // An aged partition may have no contiguous run of the requested size
     // left. Ask for half next time rather than hammering the MDS, and
@@ -389,8 +400,8 @@ Process ClientFs::write_proc(net::FileId file, std::uint64_t offset,
   ++writes_;
   bytes_written_ += nbytes;
   const BlockRange range = block_range(offset, nbytes);
-  co_await sim_->delay(params_.cpu_op +
-                       params_.cpu_page * std::int64_t(range.count));
+  co_await sim_->delay(persona_->cpu_op +
+                       persona_->cpu_page * std::int64_t(range.count));
 
   // Content tokens: one fresh version per page touched.
   std::vector<ContentToken> tokens(range.count);
@@ -458,7 +469,7 @@ Process ClientFs::write_proc(net::FileId file, std::uint64_t offset,
 
   const std::uint64_t new_size = state(file).size_bytes;
 
-  switch (params_.mode) {
+  switch (persona_->mode) {
     case CommitMode::kSync: {
       // Ordered writes on the critical path: data durable first, then the
       // metadata commit RPC, then return.
@@ -486,7 +497,7 @@ Process ClientFs::write_proc(net::FileId file, std::uint64_t offset,
       // Backpressure: the paper's adaptive pool is parameterised by
       // QueueLen_max; incoming commit requests slow down when the queue
       // is full ("slowing down the incoming commit requests", §IV-B).
-      while (queue_.size() >= params_.pool.max_queue_len) {
+      while (queue_.size() >= persona_->pool.max_queue_len) {
         co_await queue_.space().wait();
       }
       // Hand order-keeping to the file system and return immediately.
@@ -518,8 +529,8 @@ Process ClientFs::read_proc(net::FileId file, std::uint64_t offset,
   ++reads_;
   bytes_read_ += nbytes;
   const BlockRange range = block_range(offset, nbytes);
-  co_await sim_->delay(params_.cpu_op +
-                       params_.cpu_page * std::int64_t(range.count));
+  co_await sim_->delay(persona_->cpu_op +
+                       persona_->cpu_page * std::int64_t(range.count));
 
   ReadResult out;
   out.tokens.assign(range.count, storage::kUnwrittenToken);
@@ -641,8 +652,8 @@ Process ClientFs::read_proc(net::FileId file, std::uint64_t offset,
 Process ClientFs::fsync_proc(net::FileId file, SimPromise<Status> p) {
   const obs::TraceContext octx = begin_op();
   const auto op_start = sim_->now();
-  co_await sim_->delay(params_.cpu_op);
-  if (params_.mode == CommitMode::kDelayed) {
+  co_await sim_->delay(persona_->cpu_op);
+  if (persona_->mode == CommitMode::kDelayed) {
     auto fut = queue_.wait_committed(file);
     co_await fut;
   }
@@ -655,7 +666,7 @@ Process ClientFs::remove_proc(net::DirId dir, std::string name,
                               SimPromise<Status> p) {
   const obs::TraceContext octx = begin_op();
   const auto op_start = sim_->now();
-  co_await sim_->delay(params_.cpu_op);
+  co_await sim_->delay(persona_->cpu_op);
   // The entry's shard serves both the lookup and the remove.
   const std::uint32_t shard = smap_.shard_of_name(dir, name);
   // Resolve the id so local state can be dropped.

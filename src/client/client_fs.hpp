@@ -49,12 +49,14 @@ enum class CommitMode : std::uint8_t {
   kUnordered  // broken ordering (crash-consistency demonstrations only)
 };
 
-struct ClientFsParams {
+// The immutable "personality" of a client fleet: everything about a
+// client's behaviour that does not depend on which client it is. One
+// shared instance configures an arbitrary number of clients — a fleet of
+// 10^5 flyweight clients carries one personality table, not 10^5 copies
+// of the pool/compound/retry parameter blocks.
+struct ClientPersonality {
   CommitMode mode = CommitMode::kDelayed;
   bool delegation = true;
-  // Identity used for metric labels and Perfetto track grouping; the
-  // Cluster numbers its clients 0..nclients-1.
-  std::uint32_t client_id = 0;
   std::uint64_t chunk_blocks = (16ull << 20) / storage::kBlockSize;  // 16 MiB
   CommitPoolParams pool;
   CompoundParams compound;
@@ -70,6 +72,15 @@ struct ClientFsParams {
   net::RetryPolicy retry;
 };
 
+// Convenience aggregate for single-client construction: a personality
+// plus the one per-client field. Cluster splits this into one shared
+// personality for the whole fleet.
+struct ClientFsParams : ClientPersonality {
+  // Identity used for metric labels and Perfetto track grouping; the
+  // Cluster numbers its clients 0..nclients-1.
+  std::uint32_t client_id = 0;
+};
+
 using OpenResult = fsapi::OpenResult;
 using ReadResult = fsapi::ReadResult;
 
@@ -82,6 +93,13 @@ class ClientFs final : public fsapi::FsClient {
            const core::ShardMap& smap,
            std::vector<net::RpcEndpoint*> mds_shards,
            storage::DiskArray& array, ClientFsParams params);
+  // Flyweight form: the fleet's shared personality plus this client's id.
+  ClientFs(redbud::sim::Simulation& sim, net::Network& network,
+           const core::ShardMap& smap,
+           std::vector<net::RpcEndpoint*> mds_shards,
+           storage::DiskArray& array,
+           std::shared_ptr<const ClientPersonality> personality,
+           std::uint32_t client_id);
   ClientFs(const ClientFs&) = delete;
   ClientFs& operator=(const ClientFs&) = delete;
 
@@ -131,7 +149,10 @@ class ClientFs final : public fsapi::FsClient {
     return pools_[shard];
   }
   [[nodiscard]] const core::ShardMap& shard_map() const { return smap_; }
-  [[nodiscard]] const ClientFsParams& params() const { return params_; }
+  [[nodiscard]] const ClientPersonality& personality() const {
+    return *persona_;
+  }
+  [[nodiscard]] std::uint32_t client_id() const { return client_id_; }
   [[nodiscard]] std::uint64_t writes_issued() const { return writes_; }
   [[nodiscard]] std::uint64_t reads_issued() const { return reads_; }
   [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
@@ -187,7 +208,7 @@ class ClientFs final : public fsapi::FsClient {
   [[nodiscard]] redbud::sim::SimFuture<net::RpcResult> mds_call(
       std::uint32_t shard, net::RequestBody req, obs::TraceContext ctx = {});
   // The commit pool inherits the client's retry policy.
-  [[nodiscard]] static CommitPoolParams pool_params(const ClientFsParams& p);
+  [[nodiscard]] static CommitPoolParams pool_params(const ClientPersonality& p);
   // Mint the root context of one traced client op (inert when untracked).
   [[nodiscard]] obs::TraceContext begin_op() {
     return obs_ != nullptr ? obs_->tracer.mint() : obs::TraceContext{};
@@ -209,7 +230,8 @@ class ClientFs final : public fsapi::FsClient {
   core::ShardMap smap_;
   std::vector<net::RpcEndpoint*> mds_;
   storage::DiskArray* array_;
-  ClientFsParams params_;
+  std::shared_ptr<const ClientPersonality> persona_;
+  std::uint32_t client_id_;
   net::NodeId node_;
   net::RpcEndpoint endpoint_;
   PageCache cache_;

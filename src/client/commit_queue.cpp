@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "client/commit_slab.hpp"
+
 namespace redbud::client {
 
 using redbud::sim::Done;
@@ -10,7 +12,18 @@ using redbud::sim::SimFuture;
 using redbud::sim::SimPromise;
 
 CommitQueue::CommitQueue(redbud::sim::Simulation& sim)
-    : sim_(&sim), work_(sim), space_(sim) {}
+    : sim_(&sim),
+      owned_slab_(std::make_unique<CommitSlab>()),
+      slab_(owned_slab_.get()),
+      work_(sim),
+      space_(sim) {}
+
+CommitQueue::CommitQueue(redbud::sim::Simulation& sim, CommitSlab* slab)
+    : sim_(&sim), slab_(slab), work_(sim), space_(sim) {
+  assert(slab_ != nullptr);
+}
+
+CommitQueue::~CommitQueue() = default;
 
 void CommitQueue::set_obs(obs::Obs* obs, std::uint32_t client_id) {
   obs_ = obs;
@@ -31,7 +44,7 @@ void CommitQueue::add(net::FileId file, std::vector<net::Extent> extents,
   ++enqueued_;
   auto it = queued_.find(file);
   if (it == queued_.end()) {
-    CommitTask task;
+    CommitTask task = slab_->acquire();
     task.file = file;
     task.shard = net::shard_of_id(file);
     task.extents = std::move(extents);
@@ -79,6 +92,7 @@ void CommitQueue::drop(net::FileId file) {
   auto it = queued_.find(file);
   if (it == queued_.end()) return;
   for (auto& w : it->second.waiters) w.set_value(Done{});
+  slab_->recycle(std::move(it->second));
   queued_.erase(it);
   order_.erase(std::remove(order_.begin(), order_.end(), file), order_.end());
   space_.notify_all();
@@ -170,6 +184,8 @@ void CommitQueue::ack(CommitTask& task, std::uint64_t batch_span) {
       in_flight_waiters_.erase(wit);
     }
   }
+  // The acked record is dead; hand its buffers back for the next commit.
+  slab_->recycle(std::move(task));
 }
 
 void CommitQueue::requeue(CommitTask task) {
@@ -192,6 +208,7 @@ void CommitQueue::requeue(CommitTask task) {
     q.new_size_bytes = std::max(q.new_size_bytes, task.new_size_bytes);
     for (auto& w : task.waiters) q.waiters.push_back(std::move(w));
     for (auto& t : task.traces) q.traces.push_back(t);
+    slab_->recycle(std::move(task));
   }
   work_.notify_all();
 }

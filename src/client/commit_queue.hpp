@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -53,9 +54,15 @@ struct CommitTask {
   }
 };
 
+class CommitSlab;
+
 class CommitQueue {
  public:
   explicit CommitQueue(redbud::sim::Simulation& sim);
+  // Flyweight form: task records come from (and return to) a shared host
+  // slab instead of a private one.
+  CommitQueue(redbud::sim::Simulation& sim, CommitSlab* slab);
+  ~CommitQueue();
 
   CommitQueue(const CommitQueue&) = delete;
   CommitQueue& operator=(const CommitQueue&) = delete;
@@ -114,9 +121,12 @@ class CommitQueue {
   [[nodiscard]] redbud::sim::LatencyHistogram& commit_latency() {
     return commit_latency_;
   }
+  [[nodiscard]] CommitSlab& slab() { return *slab_; }
 
  private:
   redbud::sim::Simulation* sim_;
+  std::unique_ptr<CommitSlab> owned_slab_;  // null when slab is shared
+  CommitSlab* slab_;
   // FIFO of queued files; the map holds the actual tasks.
   std::deque<net::FileId> order_;
   std::unordered_map<net::FileId, CommitTask> queued_;

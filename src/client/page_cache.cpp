@@ -4,8 +4,48 @@
 
 namespace redbud::client {
 
-PageCache::PageCache(std::size_t capacity_pages) : capacity_(capacity_pages) {
+PageCache::PageCache(std::size_t capacity_pages)
+    : capacity_(capacity_pages),
+      owned_pool_(std::make_unique<PageFramePool>()),
+      pool_(owned_pool_.get()) {
   assert(capacity_ > 0);
+}
+
+PageCache::PageCache(std::size_t capacity_pages, PageFramePool* pool)
+    : capacity_(capacity_pages), pool_(pool) {
+  assert(capacity_ > 0);
+  assert(pool_ != nullptr);
+}
+
+PageCache::~PageCache() {
+  // Return shared frames; an owned pool dies with the cache anyway.
+  if (owned_pool_) return;
+  for (const auto& [key, idx] : pages_) pool_->release(idx);
+}
+
+void PageCache::lru_unlink(std::uint32_t idx) {
+  auto& f = pool_->at(idx);
+  if (f.prev != kNil) {
+    pool_->at(f.prev).next = f.next;
+  } else {
+    lru_head_ = f.next;
+  }
+  if (f.next != kNil) {
+    pool_->at(f.next).prev = f.prev;
+  } else {
+    lru_tail_ = f.prev;
+  }
+  f.prev = kNil;
+  f.next = kNil;
+}
+
+void PageCache::lru_push_front(std::uint32_t idx) {
+  auto& f = pool_->at(idx);
+  f.prev = kNil;
+  f.next = lru_head_;
+  if (lru_head_ != kNil) pool_->at(lru_head_).prev = idx;
+  lru_head_ = idx;
+  if (lru_tail_ == kNil) lru_tail_ = idx;
 }
 
 void PageCache::insert(net::FileId file, std::uint64_t block,
@@ -13,46 +53,53 @@ void PageCache::insert(net::FileId file, std::uint64_t block,
   const Key key{file, block};
   auto it = pages_.find(key);
   if (it != pages_.end()) {
-    Page& p = it->second;
-    p.token = token;
-    if (p.dirty != dirty) {
+    auto& f = pool_->at(it->second);
+    f.token = token;
+    if (f.dirty != dirty) {
       if (dirty) {
-        lru_.erase(p.lru_it);
+        lru_unlink(it->second);
         ++dirty_;
         dirty_index_[file].insert(block);
       } else {
-        lru_.push_front(key);
-        p.lru_it = lru_.begin();
+        lru_push_front(it->second);
         --dirty_;
         drop_dirty_index(file, block);
       }
-      p.dirty = dirty;
+      f.dirty = dirty;
     } else if (!dirty) {
-      lru_.splice(lru_.begin(), lru_, p.lru_it);
+      lru_unlink(it->second);
+      lru_push_front(it->second);
     }
     return;
   }
   evict_if_needed();
-  Page p;
-  p.token = token;
-  p.dirty = dirty;
+  const std::uint32_t idx = pool_->acquire();
+  auto& f = pool_->at(idx);
+  f.file = file;
+  f.block = block;
+  f.token = token;
+  f.dirty = dirty;
+  f.prev = kNil;
+  f.next = kNil;
   if (dirty) {
     ++dirty_;
     dirty_index_[file].insert(block);
   } else {
-    lru_.push_front(key);
-    p.lru_it = lru_.begin();
+    lru_push_front(idx);
   }
-  pages_.emplace(key, p);
+  pages_.emplace(key, idx);
 }
 
 void PageCache::evict_if_needed() {
   // Only clean pages are evictable; a cache full of dirty pages grows past
   // capacity rather than lose uncommitted data.
-  while (pages_.size() >= capacity_ && !lru_.empty()) {
-    const Key victim = lru_.back();
-    lru_.pop_back();
-    pages_.erase(victim);
+  while (pages_.size() >= capacity_ && lru_tail_ != kNil) {
+    const std::uint32_t victim = lru_tail_;
+    const auto& f = pool_->at(victim);
+    const Key key{f.file, f.block};
+    lru_unlink(victim);
+    pages_.erase(key);
+    pool_->release(victim);
     ++evictions_;
   }
 }
@@ -69,12 +116,11 @@ void PageCache::put_clean(net::FileId file, std::uint64_t block,
 
 void PageCache::mark_clean(net::FileId file, std::uint64_t block) {
   auto it = pages_.find(Key{file, block});
-  if (it == pages_.end() || !it->second.dirty) return;
-  it->second.dirty = false;
+  if (it == pages_.end() || !pool_->at(it->second).dirty) return;
+  pool_->at(it->second).dirty = false;
   --dirty_;
   drop_dirty_index(file, block);
-  lru_.push_front(Key{file, block});
-  it->second.lru_it = lru_.begin();
+  lru_push_front(it->second);
 }
 
 void PageCache::drop_dirty_index(net::FileId file, std::uint64_t block) {
@@ -92,15 +138,16 @@ std::optional<storage::ContentToken> PageCache::get(net::FileId file,
     return std::nullopt;
   }
   ++hits_;
-  if (!it->second.dirty) {
-    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  if (!pool_->at(it->second).dirty) {
+    lru_unlink(it->second);
+    lru_push_front(it->second);
   }
-  return it->second.token;
+  return pool_->at(it->second).token;
 }
 
 bool PageCache::is_dirty(net::FileId file, std::uint64_t block) const {
   auto it = pages_.find(Key{file, block});
-  return it != pages_.end() && it->second.dirty;
+  return it != pages_.end() && pool_->at(it->second).dirty;
 }
 
 std::vector<std::pair<std::uint64_t, storage::ContentToken>>
@@ -110,7 +157,7 @@ PageCache::dirty_pages_of(net::FileId file) const {
   if (it == dirty_index_.end()) return out;
   out.reserve(it->second.size());
   for (const auto block : it->second) {
-    out.emplace_back(block, pages_.at(Key{file, block}).token);
+    out.emplace_back(block, pool_->at(pages_.at(Key{file, block})).token);
   }
   return out;
 }
@@ -118,11 +165,13 @@ PageCache::dirty_pages_of(net::FileId file) const {
 void PageCache::invalidate_file(net::FileId file) {
   for (auto it = pages_.begin(); it != pages_.end();) {
     if (it->first.file == file) {
-      if (it->second.dirty) {
+      auto& f = pool_->at(it->second);
+      if (f.dirty) {
         --dirty_;
       } else {
-        lru_.erase(it->second.lru_it);
+        lru_unlink(it->second);
       }
+      pool_->release(it->second);
       it = pages_.erase(it);
     } else {
       ++it;

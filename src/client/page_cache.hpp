@@ -6,16 +6,26 @@
 // client cache to serve reads of not-yet-committed data (the paper's
 // "conflict reads"). Clean pages are evicted in LRU order when the cache
 // is full.
+//
+// Page frames live in a PageFramePool slab rather than inline in the map:
+// a flyweight host shares ONE pool across all its clients' caches, so ten
+// thousand mostly-idle clients cost ten thousand empty maps, not ten
+// thousand heap arenas. The LRU list is intrusive (frame prev/next
+// indices) and strictly per-cache; the pool only recycles storage, it
+// never mixes eviction order across caches. A cache constructed without
+// an explicit pool owns a private one — the classic one-client path is
+// unchanged, byte for byte.
 #pragma once
 
 #include <cstdint>
-#include <list>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "client/page_pool.hpp"
 #include "net/protocol.hpp"
 #include "obs/metrics_registry.hpp"
 #include "storage/types.hpp"
@@ -25,6 +35,12 @@ namespace redbud::client {
 class PageCache {
  public:
   explicit PageCache(std::size_t capacity_pages);
+  // Flyweight form: frames come from (and return to) a shared host pool.
+  PageCache(std::size_t capacity_pages, PageFramePool* pool);
+  ~PageCache();
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
 
   // Insert or refresh a dirty (uncommitted) page. Dirty pages are pinned.
   void put_dirty(net::FileId file, std::uint64_t block,
@@ -52,6 +68,7 @@ class PageCache {
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
   [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+  [[nodiscard]] PageFramePool& pool() { return *pool_; }
 
   // Register this cache's counters with the central registry.
   void register_metrics(obs::MetricsRegistry& reg,
@@ -62,6 +79,8 @@ class PageCache {
   }
 
  private:
+  static constexpr std::uint32_t kNil = PageFramePool::kNil;
+
   struct Key {
     net::FileId file;
     std::uint64_t block;
@@ -73,23 +92,23 @@ class PageCache {
                                         k.block);
     }
   };
-  struct Page {
-    storage::ContentToken token;
-    bool dirty;
-    std::list<Key>::iterator lru_it;  // valid only when clean
-  };
 
   void insert(net::FileId file, std::uint64_t block,
               storage::ContentToken token, bool dirty);
   void evict_if_needed();
   void drop_dirty_index(net::FileId file, std::uint64_t block);
+  void lru_unlink(std::uint32_t idx);
+  void lru_push_front(std::uint32_t idx);
 
   std::size_t capacity_;
-  std::unordered_map<Key, Page, KeyHash> pages_;
+  std::unique_ptr<PageFramePool> owned_pool_;  // null when pool is shared
+  PageFramePool* pool_;
+  std::unordered_map<Key, std::uint32_t, KeyHash> pages_;  // key -> frame
   // Per-file dirty-block index so flushes never scan the whole cache.
   std::unordered_map<net::FileId, std::unordered_set<std::uint64_t>>
       dirty_index_;
-  std::list<Key> lru_;  // clean pages, most recent at front
+  std::uint32_t lru_head_ = kNil;  // clean frames, most recent first
+  std::uint32_t lru_tail_ = kNil;
   std::size_t dirty_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

@@ -19,7 +19,8 @@ Cluster::Cluster(ClusterParams params)
     : params_(std::move(params)),
       shard_map_(params_.nshards),
       obs_(params_.obs),
-      domain_(params_.nthreads, cluster_lookahead(params_)) {
+      domain_(params_.nthreads, cluster_lookahead(params_),
+              params_.force_partitioned) {
   // Partition layout: one event loop per MDS shard, one per client host,
   // one for the disk array behind the FC fabric. A serial domain hands
   // back the same single Simulation for every add_partition() call, so
@@ -113,12 +114,14 @@ Cluster::Cluster(ClusterParams params)
   endpoints.reserve(shards_.size());
   for (auto& sh : shards_) endpoints.push_back(sh->endpoint.get());
 
+  // One immutable personality shared by the whole fleet; only the client
+  // id varies per instance.
+  const auto personality =
+      std::make_shared<const client::ClientPersonality>(params_.client);
   for (std::uint32_t i = 0; i < params_.nclients; ++i) {
-    auto client_params = params_.client;
-    client_params.client_id = i;
     clients_.push_back(std::make_unique<client::ClientFs>(
         *client_sims_[i], *network_, shard_map_, endpoints, *array_,
-        client_params));
+        personality, i));
     clients_.back()->set_obs(&obs_);
   }
 }

@@ -60,6 +60,11 @@ struct ClusterParams {
   std::uint32_t nshards = 1;   // metadata shards (1 = the paper's testbed)
   // Worker threads driving the partitioned kernel; <= 1 = serial kernel.
   std::uint32_t nthreads = 1;
+  // Keep the partitioned window kernel even at nthreads == 1, so a run's
+  // results are bit-identical for ANY worker count (see sim/parallel.hpp).
+  // Off by default: the classic serial kernel's event interleaving is
+  // pinned by replay goldens.
+  bool force_partitioned = false;
   SpacePartition partition = SpacePartition::kSliceDevices;
   net::NetworkParams network;
   storage::ArrayParams array;

@@ -38,8 +38,11 @@ struct Backoff {
 
 }  // namespace detail
 
-SimDomain::SimDomain(unsigned nthreads, SimTime lookahead)
-    : nthreads_(nthreads == 0 ? 1 : nthreads), lookahead_(lookahead) {
+SimDomain::SimDomain(unsigned nthreads, SimTime lookahead,
+                     bool force_partitioned)
+    : nthreads_(nthreads == 0 ? 1 : nthreads),
+      lookahead_(lookahead),
+      force_partitioned_(force_partitioned) {
   REDBUD_REQUIRE(lookahead_ > SimTime::zero(),
                  "domain lookahead must be positive");
 }

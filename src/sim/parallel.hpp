@@ -58,14 +58,24 @@ namespace detail {
 class SimDomain {
  public:
   // nthreads <= 1 selects the serial kernel: add_partition() returns one
-  // shared Simulation and run_until() is a plain delegation.
+  // shared Simulation and run_until() is a plain delegation. Passing
+  // force_partitioned = true keeps the partitioned window algorithm even
+  // at nthreads == 1 (the coordinator runs every partition itself): same
+  // partition layout, staged injections and round loop as nthreads >= 2,
+  // so results are bit-identical across {1, 2, 4, ...} workers. Use it
+  // when a run must be reproducible for ANY worker count; the classic
+  // serial kernel remains the nthreads == 1 default because it needs no
+  // lookahead and its event interleaving is pinned by replay goldens.
   explicit SimDomain(unsigned nthreads = 1,
-                     SimTime lookahead = SimTime::micros(40));
+                     SimTime lookahead = SimTime::micros(40),
+                     bool force_partitioned = false);
   SimDomain(const SimDomain&) = delete;
   SimDomain& operator=(const SimDomain&) = delete;
   ~SimDomain();
 
-  [[nodiscard]] bool parallel() const { return nthreads_ > 1; }
+  [[nodiscard]] bool parallel() const {
+    return nthreads_ > 1 || force_partitioned_;
+  }
   [[nodiscard]] unsigned nthreads() const { return nthreads_; }
   [[nodiscard]] SimTime lookahead() const { return lookahead_; }
 
@@ -116,6 +126,7 @@ class SimDomain {
 
   unsigned nthreads_;
   SimTime lookahead_;
+  bool force_partitioned_;
   std::vector<std::unique_ptr<Simulation>> parts_;
   std::vector<Lane> lanes_;
   std::vector<Injection> deliver_buf_;

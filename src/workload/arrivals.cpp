@@ -1,0 +1,101 @@
+#include "workload/arrivals.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace redbud::workload {
+
+using redbud::sim::SimTime;
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}  // namespace
+
+ArrivalProcess::ArrivalProcess(const ArrivalParams& params,
+                               redbud::sim::Rng rng)
+    : params_(params), rng_(rng) {
+  assert(params_.rate > 0);
+  if (params_.kind == ArrivalKind::kMmpp) {
+    assert(params_.mmpp_burst_factor >= 1.0);
+    assert(params_.mmpp_dwell_quiet_s > 0 && params_.mmpp_dwell_burst_s > 0);
+    dwell_remaining_s_ = rng_.exponential(params_.mmpp_dwell_quiet_s);
+  }
+  if (params_.kind == ArrivalKind::kDiurnal) {
+    assert(params_.diurnal_period_s > 0);
+    assert(params_.diurnal_trough > 0 && params_.diurnal_trough <= 1.0);
+  }
+}
+
+double ArrivalProcess::mmpp_burst_rate() const {
+  return params_.rate * params_.mmpp_burst_factor;
+}
+
+double ArrivalProcess::mmpp_quiet_rate() const {
+  // Long-run mean = (q*dq + b*db) / (dq + db) with dwell means dq, db.
+  // Solve for the quiet rate q given burst rate b = rate * factor:
+  const double dq = params_.mmpp_dwell_quiet_s;
+  const double db = params_.mmpp_dwell_burst_s;
+  const double q =
+      (params_.rate * (dq + db) - mmpp_burst_rate() * db) / dq;
+  // A burst factor/dwell split demanding a negative quiet rate is a
+  // misconfiguration; floor at a token trickle instead of going negative.
+  return q > 0 ? q : params_.rate * 0.01;
+}
+
+double ArrivalProcess::diurnal_rate(double t_s) const {
+  const double phase = kTwoPi * (t_s / params_.diurnal_period_s);
+  const double swell = (1.0 - std::cos(phase)) * 0.5;  // 0 at t=0, 1 mid
+  return params_.rate *
+         (params_.diurnal_trough + (1.0 - params_.diurnal_trough) * swell);
+}
+
+double ArrivalProcess::rate_at(SimTime now) const {
+  switch (params_.kind) {
+    case ArrivalKind::kPoisson:
+      return params_.rate;
+    case ArrivalKind::kMmpp:
+      return burst_ ? mmpp_burst_rate() : mmpp_quiet_rate();
+    case ArrivalKind::kDiurnal:
+      return diurnal_rate(now.to_seconds());
+  }
+  return params_.rate;
+}
+
+SimTime ArrivalProcess::next_gap(SimTime now) {
+  switch (params_.kind) {
+    case ArrivalKind::kPoisson:
+      return SimTime::seconds_f(rng_.exponential(1.0 / params_.rate));
+
+    case ArrivalKind::kMmpp: {
+      // Walk dwell intervals until an arrival candidate lands inside one.
+      double elapsed = 0;
+      for (;;) {
+        const double rate = burst_ ? mmpp_burst_rate() : mmpp_quiet_rate();
+        const double gap = rng_.exponential(1.0 / rate);
+        if (gap <= dwell_remaining_s_) {
+          dwell_remaining_s_ -= gap;
+          return SimTime::seconds_f(elapsed + gap);
+        }
+        elapsed += dwell_remaining_s_;
+        burst_ = !burst_;
+        dwell_remaining_s_ = rng_.exponential(
+            burst_ ? params_.mmpp_dwell_burst_s : params_.mmpp_dwell_quiet_s);
+      }
+    }
+
+    case ArrivalKind::kDiurnal: {
+      // Lewis-Shedler thinning at the peak rate: candidate gaps at
+      // `rate`, accepted with probability rate(t)/rate.
+      double t = now.to_seconds();
+      for (;;) {
+        t += rng_.exponential(1.0 / params_.rate);
+        if (rng_.next_double() * params_.rate <= diurnal_rate(t)) {
+          return SimTime::seconds_f(t) - now;
+        }
+      }
+    }
+  }
+  return SimTime::zero();
+}
+
+}  // namespace redbud::workload
