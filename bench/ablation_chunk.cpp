@@ -31,7 +31,8 @@ int main(int argc, char** argv) {
   for (int i = 0; i < 4; ++i) {
     const std::uint64_t mib = kChunksMib[i];
     Cell* cell = &cells[i];
-    runner.add(std::to_string(mib) + "MiB", [mib, cell, cli]() -> std::uint64_t {
+    runner.add(std::to_string(mib) + "MiB",
+               [mib, cell, cli]() -> bench::KernelStats {
       auto params = bench::paper_testbed(Protocol::kRedbudDelayed, cli);
       params.redbud.client.delegation = true;
       params.redbud.client.chunk_blocks = (mib << 20) / storage::kBlockSize;
@@ -55,7 +56,7 @@ int main(int argc, char** argv) {
       }
       std::fprintf(stderr, "  done: %lluMiB merge=%.3f\n",
                    static_cast<unsigned long long>(mib), cell->merge);
-      return bed.sim().events_processed();
+      return bench::kernel_stats(bed);
     });
   }
   runner.run_all();

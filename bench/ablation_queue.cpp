@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
       const std::size_t queue = kQueueCaps[qi];
       Row& row = rows[ti * std::size(kQueueCaps) + qi];
       runner.add("t" + std::to_string(threads) + "/q" + std::to_string(queue),
-                 [threads, queue, &row, cli]() -> std::uint64_t {
+                 [threads, queue, &row, cli]() -> bench::KernelStats {
                    auto params = bench::paper_testbed(Protocol::kRedbudDelayed, cli);
                    params.redbud.client.pool.max_threads = threads;
                    params.redbud.client.pool.max_queue_len = queue;
@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
                    bench::write_obs_artifacts(
                        *cluster, "ablation_queue_t" + std::to_string(threads) +
                                      "_q" + std::to_string(queue));
-                   return bed.sim().events_processed();
+                   return bench::kernel_stats(bed);
                  });
     }
   }

@@ -10,12 +10,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "core/metrics.hpp"
 #include "core/testbed.hpp"
 #include "obs/export.hpp"
+#include "parallel_runner.hpp"
 #include "sim/stats.hpp"
 #include "storage/blktrace.hpp"
 #include "workload/filebench.hpp"
@@ -57,22 +59,77 @@ inline obs::ObsParams obs_from_env() {
   return o;
 }
 
+// Process memory snapshot from /proc/self/status (Linux-only; both fields
+// stay 0 elsewhere and the artifacts record that). Hoisted out of
+// load_sweep so every bench's obs artifacts carry measured memory.
+inline obs::ProcessMem read_proc_mem() {
+  obs::ProcessMem m;
+  std::ifstream in("/proc/self/status");
+  std::string key;
+  while (in >> key) {
+    if (key == "VmRSS:") {
+      in >> m.vm_rss_kb;
+    } else if (key == "VmHWM:") {
+      in >> m.vm_hwm_kb;
+    } else {
+      in.ignore(256, '\n');
+    }
+  }
+  return m;
+}
+
+// Kernel accounting of a finished configuration for the runner's
+// BENCH_kernel.json rows: the SimDomain's KernelProfile summarised into
+// the flat per-row fields.
+inline KernelStats kernel_stats(core::Cluster& cluster) {
+  const redbud::sim::KernelProfile kp = cluster.domain().kernel_profile();
+  KernelStats s;
+  s.events = kp.events_total();
+  s.rounds = kp.rounds;
+  s.busy_ns = kp.busy_ns_total();
+  s.stall_ns = kp.stall_ns_total();
+  s.injections_staged = kp.injections_staged;
+  s.injections_delivered = kp.injections_delivered;
+  s.max_partition_events = kp.max_partition_events();
+  s.nparts = static_cast<std::uint32_t>(kp.partitions.size());
+  return s;
+}
+// Baseline stacks run a bare Simulation with no domain: events only.
+inline KernelStats kernel_stats(core::Testbed& bed) {
+  if (bed.cluster() != nullptr) return kernel_stats(*bed.cluster());
+  KernelStats s;
+  s.events = bed.events_processed();
+  s.max_partition_events = s.events;
+  return s;
+}
+
 // Emit the run's observability artifacts into bench_out/: always a
-// `<name>.metrics.json` registry snapshot, plus a `<name>.trace.json`
-// Perfetto trace when the run was traced.
+// `<name>.metrics.json` registry snapshot (with the process memory
+// footprint), plus a `<name>.trace.json` Perfetto trace when the run was
+// traced and a `<name>.timeseries.json` when sampling took samples.
 inline void write_obs_artifacts(core::Cluster& cluster, std::string name) {
   for (char& c : name) {
     if (c == '/' || c == ' ') c = '_';
   }
   std::filesystem::create_directories("bench_out");
+  const obs::ProcessMem mem = read_proc_mem();
   const std::string metrics = "bench_out/" + name + ".metrics.json";
-  if (!obs::write_metrics_json(cluster.obs(), cluster.sim().now(), metrics)) {
+  if (!obs::write_metrics_json(cluster.obs(), cluster.sim().now(), metrics,
+                               &mem)) {
     std::cerr << "warning: failed to write " << metrics << "\n";
   }
-  if (cluster.obs().tracer.enabled()) {
+  const bool sampled = cluster.obs().sampler.samples_taken() > 0;
+  if (cluster.obs().tracer.enabled() || sampled) {
     const std::string trace = "bench_out/" + name + ".trace.json";
-    if (!obs::write_perfetto_json(cluster.obs().tracer, trace)) {
+    if (!obs::write_perfetto_json(cluster.obs().tracer, trace,
+                                  &cluster.obs().sampler)) {
       std::cerr << "warning: failed to write " << trace << "\n";
+    }
+  }
+  if (sampled) {
+    const std::string series = "bench_out/" + name + ".timeseries.json";
+    if (!obs::write_timeseries_json(cluster.obs().sampler, series)) {
+      std::cerr << "warning: failed to write " << series << "\n";
     }
   }
 }
@@ -84,6 +141,10 @@ inline void write_obs_artifacts(core::Cluster& cluster, std::string name) {
 //                 kernel, byte-identical to the pre-partitioning figures
 //   --smoke       reduced grid / shortened run for CI smoke jobs
 //   --trace       enable span tracing (same effect as REDBUD_TRACE=1)
+//   --sample-interval M
+//                 time-series sampling stride in simulated milliseconds
+//                 (fractions allowed); 0 disables sampling, the default
+//                 for the replay-pinned benches
 //
 // Unknown arguments warn on stderr and are otherwise ignored, so adding a
 // flag never breaks an older bench invocation in a CI matrix.
@@ -91,6 +152,7 @@ struct Options {
   unsigned threads = 1;
   bool smoke = false;
   bool trace = false;
+  double sample_interval_ms = 0.0;
 
   static Options parse(int argc, char** argv) {
     Options o;
@@ -105,12 +167,18 @@ struct Options {
         o.smoke = true;
       } else if (a == "--trace") {
         o.trace = true;
+      } else if (a == "--sample-interval" && i + 1 < argc) {
+        o.sample_interval_ms = std::strtod(argv[++i], nullptr);
+      } else if (a.rfind("--sample-interval=", 0) == 0) {
+        o.sample_interval_ms = std::strtod(a.c_str() + 18, nullptr);
       } else {
         std::cerr << "warning: unknown bench option '" << a
-                  << "' (known: --threads N, --smoke, --trace)\n";
+                  << "' (known: --threads N, --smoke, --trace, "
+                     "--sample-interval M)\n";
       }
     }
     if (o.threads == 0) o.threads = 1;
+    if (o.sample_interval_ms < 0) o.sample_interval_ms = 0;
     return o;
   }
 
@@ -118,6 +186,9 @@ struct Options {
   [[nodiscard]] obs::ObsParams obs() const {
     obs::ObsParams o = obs_from_env();
     o.tracing.enabled = o.tracing.enabled || trace;
+    if (sample_interval_ms > 0) {
+      o.sampling.interval = redbud::sim::SimTime::millis_f(sample_interval_ms);
+    }
     return o;
   }
 };

@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
       const std::string name = workloads[wi].first;
       Row& row = rows[wi];
       runner.add(name + "/" + core::protocol_name(kProtocols[pi]),
-                 [name, pi, &row, cli]() -> std::uint64_t {
+                 [name, pi, &row, cli]() -> bench::KernelStats {
                    auto w = make_workload(name);
                    core::Testbed bed(bench::paper_testbed(kProtocols[pi], cli));
                    bed.start();
@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
                          *c, "fig3_" + name + "_" +
                                  core::protocol_name(kProtocols[pi]));
                    }
-                   return bed.sim().events_processed();
+                   return bench::kernel_stats(bed);
                  });
     }
   }

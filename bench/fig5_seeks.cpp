@@ -8,10 +8,12 @@
 // The raw scatter series (time vs block / seek distance) is written as
 // CSV per configuration under bench_out/fig5/; the table summarises the
 // per-dispatch seek statistics.
+#include <array>
 #include <filesystem>
 #include <vector>
 
 #include "common.hpp"
+#include "parallel_runner.hpp"
 #include "storage/blktrace.hpp"
 
 using namespace redbud;
@@ -33,6 +35,14 @@ constexpr Config kConfigs[] = {
     {"Space Delegation", "delegation", Protocol::kRedbudDelayed, true},
 };
 
+constexpr std::uint32_t kSizesKb[] = {32, 1024};
+
+struct Cell {
+  std::uint64_t dispatches = 0;
+  double frac = 0.0;
+  double seeks_per_mb = 0.0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -45,48 +55,78 @@ int main(int argc, char** argv) {
   core::Table table({"config", "file size", "dispatches", "seek fraction",
                      "seeks per MB moved", "paper expectation"});
 
-  for (std::uint32_t kb : {32u, 1024u}) {
-    for (const auto& cfg : kConfigs) {
-      auto params = bench::paper_testbed(cfg.protocol, cli);
-      params.redbud.client.delegation = cfg.delegation;
-      core::Testbed bed(params);
-      bed.start();
-      XcdnWorkload w(bench::xcdn_params(kb));
-      auto opt = bench::paper_run(cli.smoke);
-      auto* cluster = bed.cluster();
-      opt.on_measure_start = [cluster] {
-        cluster->array().reset_stats();
-        for (std::uint32_t d = 0; d < cluster->array().ndisks(); ++d) {
-          cluster->array().disk(d).trace().set_enabled(true);
-        }
-      };
-      (void)run_workload(bed, w, opt);
-      bench::write_obs_artifacts(*cluster, "fig5_" + std::string(cfg.slug) +
-                                               "_" + std::to_string(kb) + "KB");
+  // 2 file sizes x 3 configurations, each an independent simulation with
+  // its own CSV output paths; fan out over OS threads.
+  std::array<Cell, std::size(kSizesKb) * std::size(kConfigs)> cells{};
+  bench::ParallelRunner runner;
+  for (std::size_t si = 0; si < std::size(kSizesKb); ++si) {
+    for (std::size_t ci = 0; ci < std::size(kConfigs); ++ci) {
+      const std::uint32_t kb = kSizesKb[si];
+      const Config& cfg = kConfigs[ci];
+      Cell& cell = cells[si * std::size(kConfigs) + ci];
+      runner.add(std::string(cfg.slug) + "/" + std::to_string(kb) + "KB",
+                 [kb, &cfg, &cell, cli]() -> bench::KernelStats {
+                   auto params = bench::paper_testbed(cfg.protocol, cli);
+                   params.redbud.client.delegation = cfg.delegation;
+                   core::Testbed bed(params);
+                   bed.start();
+                   XcdnWorkload w(bench::xcdn_params(kb));
+                   auto opt = bench::paper_run(cli.smoke);
+                   auto* cluster = bed.cluster();
+                   opt.on_measure_start = [cluster] {
+                     cluster->array().reset_stats();
+                     for (std::uint32_t d = 0; d < cluster->array().ndisks();
+                          ++d) {
+                       cluster->array().disk(d).trace().set_enabled(true);
+                     }
+                   };
+                   (void)run_workload(bed, w, opt);
+                   bench::write_obs_artifacts(
+                       *cluster, "fig5_" + std::string(cfg.slug) + "_" +
+                                     std::to_string(kb) + "KB");
 
-      std::uint64_t dispatches = 0;
-      std::uint64_t seeks = 0;
-      std::uint64_t blocks_moved = 0;
-      for (std::uint32_t d = 0; d < cluster->array().ndisks(); ++d) {
-        const auto& tr = cluster->array().disk(d).trace();
-        dispatches += tr.events().size();
-        seeks += tr.seek_count();
-        for (const auto& ev : tr.events()) blocks_moved += ev.nblocks;
-        const std::string path = "bench_out/fig5/" + std::string(cfg.slug) +
-                                 "_" + std::to_string(kb) + "KB_disk" +
-                                 std::to_string(d) + ".csv";
-        bench::write_trace_csv(tr, path);
-      }
-      const double frac =
-          dispatches == 0 ? 0.0 : double(seeks) / double(dispatches);
-      const double mb =
-          double(blocks_moved) * double(storage::kBlockSize) / (1 << 20);
-      const double seeks_per_mb = mb > 0 ? double(seeks) / mb : 0.0;
-      table.add_row(
-          {cfg.name, std::to_string(kb) + " KB", std::to_string(dispatches),
-           core::Table::fmt(frac, 3), core::Table::fmt(seeks_per_mb, 1),
-           cfg.delegation ? "few seeks, sparse spikes" : "dense seeking"});
-      std::fprintf(stderr, "  done: %s %uKB seeks=%.3f\n", cfg.name, kb, frac);
+                   std::uint64_t dispatches = 0;
+                   std::uint64_t seeks = 0;
+                   std::uint64_t blocks_moved = 0;
+                   for (std::uint32_t d = 0; d < cluster->array().ndisks();
+                        ++d) {
+                     const auto& tr = cluster->array().disk(d).trace();
+                     dispatches += tr.events().size();
+                     seeks += tr.seek_count();
+                     for (const auto& ev : tr.events()) {
+                       blocks_moved += ev.nblocks;
+                     }
+                     const std::string path =
+                         "bench_out/fig5/" + std::string(cfg.slug) + "_" +
+                         std::to_string(kb) + "KB_disk" + std::to_string(d) +
+                         ".csv";
+                     bench::write_trace_csv(tr, path);
+                   }
+                   cell.dispatches = dispatches;
+                   cell.frac = dispatches == 0
+                                   ? 0.0
+                                   : double(seeks) / double(dispatches);
+                   const double mb = double(blocks_moved) *
+                                     double(storage::kBlockSize) / (1 << 20);
+                   cell.seeks_per_mb = mb > 0 ? double(seeks) / mb : 0.0;
+                   std::fprintf(stderr, "  done: %s %uKB seeks=%.3f\n",
+                                cfg.name, kb, cell.frac);
+                   return bench::kernel_stats(bed);
+                 });
+    }
+  }
+  runner.run_all();
+  runner.write_json("fig5_seeks");
+
+  for (std::size_t si = 0; si < std::size(kSizesKb); ++si) {
+    for (std::size_t ci = 0; ci < std::size(kConfigs); ++ci) {
+      const Cell& cell = cells[si * std::size(kConfigs) + ci];
+      table.add_row({kConfigs[ci].name, std::to_string(kSizesKb[si]) + " KB",
+                     std::to_string(cell.dispatches),
+                     core::Table::fmt(cell.frac, 3),
+                     core::Table::fmt(cell.seeks_per_mb, 1),
+                     kConfigs[ci].delegation ? "few seeks, sparse spikes"
+                                             : "dense seeking"});
     }
   }
   table.print(std::cout);

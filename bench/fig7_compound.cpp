@@ -8,11 +8,22 @@
 //  * compounding helps most when the server has few daemons;
 //  * degree 6 adds little over degree 3 ("I/O is slower compared with
 //    network requests").
+#include <array>
+#include <sstream>
+
 #include "common.hpp"
+#include "parallel_runner.hpp"
 
 using namespace redbud;
 using namespace redbud::workload;
 using core::Protocol;
+
+namespace {
+
+constexpr std::uint32_t kDaemonCounts[] = {1, 8, 16};
+constexpr std::uint32_t kDegrees[] = {1, 3, 6};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const bench::Options cli = bench::Options::parse(argc, argv);
@@ -20,42 +31,70 @@ int main(int argc, char** argv) {
                      "Figure 7 — Compound degree vs MDS server daemons",
                      "xcdn-8KB (MDS-bound); per-client throughput (MB/s)");
 
-  const std::uint32_t daemon_counts[] = {1, 8, 16};
-  const std::uint32_t degrees[] = {1, 3, 6};
-
   core::Table table({"server daemons", "degree 1", "degree 3", "degree 6",
                      "paper expectation"});
 
-  for (auto nd : daemon_counts) {
+  // 3x3 grid of independent simulations; fan out over OS threads. The
+  // per-op RPC dump at the paper's operating point (8 daemons, degree 3)
+  // is captured inside the job and printed after the fan-out so stdout
+  // stays deterministic.
+  std::array<double, std::size(kDaemonCounts) * std::size(kDegrees)>
+      per_client{};
+  std::ostringstream rpc_dump;
+  bench::ParallelRunner runner;
+  for (std::size_t di = 0; di < std::size(kDaemonCounts); ++di) {
+    for (std::size_t gi = 0; gi < std::size(kDegrees); ++gi) {
+      const std::uint32_t nd = kDaemonCounts[di];
+      const std::uint32_t degree = kDegrees[gi];
+      double& out = per_client[di * std::size(kDegrees) + gi];
+      runner.add("d" + std::to_string(nd) + "/c" + std::to_string(degree),
+                 [nd, degree, &out, &rpc_dump, cli]() -> bench::KernelStats {
+                   auto params =
+                       bench::paper_testbed(Protocol::kRedbudDelayed, cli);
+                   params.redbud.mds.ndaemons = nd;
+                   params.redbud.client.compound.adaptive = false;
+                   params.redbud.client.compound.fixed_degree = degree;
+                   core::Testbed bed(params);
+                   bed.start();
+                   // Small files + more threads: the commit RPC rate must
+                   // press on the MDS for the daemon/compound trade-offs to
+                   // be visible at all (the paper's MDS was a single 3 GHz
+                   // core).
+                   auto xp = bench::xcdn_params(8);
+                   xp.threads_per_client = 16;
+                   XcdnWorkload w(xp);
+                   auto opt = bench::paper_run(cli.smoke);
+                   auto r = run_workload(bed, w, opt);
+                   bench::write_obs_artifacts(*bed.cluster(),
+                                              "fig7_d" + std::to_string(nd) +
+                                                  "_c" +
+                                                  std::to_string(degree));
+                   out = r.mb_per_sec / double(bed.nclients());
+                   std::fprintf(
+                       stderr,
+                       "  done: daemons=%u degree=%u -> %.2f MB/s/client\n",
+                       nd, degree, out);
+                   // Per-op RPC service mix at the paper's operating point —
+                   // shows commit RPCs dominating the MDS and their RTT
+                   // under compounding.
+                   if (nd == 8 && degree == 3) {
+                     bed.cluster()->mds_endpoint().dump(
+                         rpc_dump, "mds per-op RPC stats (8 daemons, degree 3)");
+                   }
+                   return bench::kernel_stats(bed);
+                 });
+    }
+  }
+  runner.run_all();
+  runner.write_json("fig7_compound");
+
+  std::cout << rpc_dump.str();
+  for (std::size_t di = 0; di < std::size(kDaemonCounts); ++di) {
+    const std::uint32_t nd = kDaemonCounts[di];
     std::vector<std::string> cells = {std::to_string(nd) + " daemons"};
-    for (auto degree : degrees) {
-      auto params = bench::paper_testbed(Protocol::kRedbudDelayed, cli);
-      params.redbud.mds.ndaemons = nd;
-      params.redbud.client.compound.adaptive = false;
-      params.redbud.client.compound.fixed_degree = degree;
-      core::Testbed bed(params);
-      bed.start();
-      // Small files + more threads: the commit RPC rate must press on the
-      // MDS for the daemon/compound trade-offs to be visible at all
-      // (the paper's MDS was a single 3 GHz core).
-      auto xp = bench::xcdn_params(8);
-      xp.threads_per_client = 16;
-      XcdnWorkload w(xp);
-      auto opt = bench::paper_run(cli.smoke);
-      auto r = run_workload(bed, w, opt);
-      bench::write_obs_artifacts(*bed.cluster(),
-                                 "fig7_d" + std::to_string(nd) + "_c" +
-                                     std::to_string(degree));
-      const double per_client = r.mb_per_sec / double(bed.nclients());
-      cells.push_back(core::Table::fmt(per_client, 2));
-      std::fprintf(stderr, "  done: daemons=%u degree=%u -> %.2f MB/s/client\n",
-                   nd, degree, per_client);
-      // Per-op RPC service mix at the paper's operating point — shows
-      // commit RPCs dominating the MDS and their RTT under compounding.
-      if (nd == 8 && degree == 3) {
-        bed.cluster()->mds_endpoint().dump(
-            std::cout, "mds per-op RPC stats (8 daemons, degree 3)");
-      }
+    for (std::size_t gi = 0; gi < std::size(kDegrees); ++gi) {
+      cells.push_back(
+          core::Table::fmt(per_client[di * std::size(kDegrees) + gi], 2));
     }
     cells.push_back(nd == 1    ? "compounding helps most here"
                     : nd == 8  ? "best daemon count"

@@ -14,6 +14,19 @@
 // peak memory (VmHWM) is recorded per point so memory-per-client is a
 // measured number, not an estimate.
 //
+// Saturation is detected, not eyeballed: every point runs with the
+// time-series sampler on (default 25 ms grid, --sample-interval to
+// change), the per-host openloop.outstanding series are summed, and the
+// least-squares slope of that sum over the measurement window is the
+// open-loop overload signature — past the service capacity the in-flight
+// set grows linearly at (offered - capacity) ops/s. A point is saturated
+// when that slope is material (> 5% of offered), when completed
+// throughput falls under 90% of offered, or when the drain window cannot
+// empty the queue. The sweep reports the knee (first saturated offered
+// load) and saturation_ops_s (the best completed rate seen) and writes
+// the sampled series per point into bench_out/timeseries.json
+// (schemas/timeseries.schema.json).
+//
 // Runs under the partitioned kernel with force_partitioned, so results
 // are bit-identical for any --threads value. --smoke shrinks the fleet
 // to 10^4 clients and two load points for CI.
@@ -28,6 +41,7 @@
 #include "common.hpp"
 #include "core/cluster.hpp"
 #include "core/metrics.hpp"
+#include "parallel_runner.hpp"
 #include "sim/random.hpp"
 #include "workload/openloop.hpp"
 
@@ -49,28 +63,6 @@ namespace {
 constexpr std::uint32_t kHosts = 8;
 constexpr std::uint32_t kShards = 4;
 
-struct MemSample {
-  std::uint64_t vm_rss_kb = 0;
-  std::uint64_t vm_hwm_kb = 0;
-};
-
-// Linux-only; both fields stay 0 elsewhere and the JSON records that.
-MemSample read_mem() {
-  MemSample m;
-  std::ifstream in("/proc/self/status");
-  std::string key;
-  while (in >> key) {
-    if (key == "VmRSS:") {
-      in >> m.vm_rss_kb;
-    } else if (key == "VmHWM:") {
-      in >> m.vm_hwm_kb;
-    } else {
-      in.ignore(256, '\n');
-    }
-  }
-  return m;
-}
-
 struct ClassResult {
   std::uint64_t issued = 0;
   std::uint64_t completed = 0;
@@ -86,6 +78,20 @@ struct ClassResult {
 struct LoadPoint {
   double offered_ops;
   bool expect_drain;
+};
+
+// The sampled channels exported per point: the engines' live load state
+// plus the pooled-resource occupancy gauges (the "queue depth" of the
+// flyweight stack). The full registry is sampled; only these series go
+// into the artifact to keep it reviewable.
+constexpr const char* kExportPrefixes[] = {
+    "openloop.outstanding", "openloop.shed", "commit_slab.in_use",
+    "page_pool.frames_in_use"};
+
+struct PointSeries {
+  std::string name;
+  const char* kind = "value";
+  std::vector<double> values;
 };
 
 struct PointResult {
@@ -105,13 +111,47 @@ struct PointResult {
   std::uint64_t slab_in_use = 0;
   std::uint64_t slab_peak = 0;
   std::uint64_t prepare_failures = 0;
-  MemSample mem;
+  obs::ProcessMem mem;
   ClassResult cls[kNumOpClasses];
+  // Saturation signature: least-squares slope of the summed outstanding
+  // series over the measurement window, in ops/s of queue growth.
+  double outstanding_slope = 0;
+  bool saturated = false;
+  // Sampled series for the timeseries.json artifact.
+  std::uint64_t samples = 0;
+  std::uint64_t dropped = 0;
+  std::vector<double> instants_us;
+  std::vector<PointSeries> series;
+  bench::KernelStats kernel;
   bool ok = false;
 };
 
+bool wants_export(const std::string& name) {
+  for (const char* prefix : kExportPrefixes) {
+    if (name.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+// Least-squares slope of y over x, both restricted to [from, until].
+double window_slope(const std::vector<double>& x_s,
+                    const std::vector<double>& y, double from_s,
+                    double until_s) {
+  double n = 0, sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x_s.size() && i < y.size(); ++i) {
+    if (x_s[i] < from_s || x_s[i] > until_s) continue;
+    n += 1;
+    sx += x_s[i];
+    sy += y[i];
+    sxx += x_s[i] * x_s[i];
+    sxy += x_s[i] * y[i];
+  }
+  const double det = n * sxx - sx * sx;
+  return (n >= 2 && det > 0) ? (n * sxy - sx * sy) / det : 0.0;
+}
+
 PointResult run_point(const LoadPoint& pt, std::uint32_t clients_per_host,
-                      unsigned nthreads) {
+                      unsigned nthreads, SimTime sample_interval) {
   const double offered_ops = pt.offered_ops;
   PointResult res;
   res.offered_ops = offered_ops;
@@ -128,6 +168,7 @@ PointResult run_point(const LoadPoint& pt, std::uint32_t clients_per_host,
   p.metadata_disk.total_blocks = 1 << 22;
   p.journal.region_blocks = 1 << 16;
   p.client.cache_pages = 1 << 14;
+  p.obs.sampling.interval = sample_interval;
   auto cluster = std::make_unique<Cluster>(p);
 
   std::vector<std::unique_ptr<ClientHost>> hosts;
@@ -147,6 +188,7 @@ PointResult run_point(const LoadPoint& pt, std::uint32_t clients_per_host,
     op.prepare_parallelism = 128;
     engines.push_back(std::make_unique<OpenLoopEngine>(
         cluster->client_sim(h), *hosts.back(), op, master.split()));
+    engines.back()->register_metrics(cluster->obs().registry, h);
   }
 
   Cluster& c = *cluster;
@@ -232,19 +274,72 @@ PointResult run_point(const LoadPoint& pt, std::uint32_t clients_per_host,
   res.ok = res.ok &&
            res.sessions_live == std::uint64_t(kHosts) * clients_per_host &&
            res.prepare_failures == 0;
-  res.mem = read_mem();
+
+  // Sampled series: extract the load-state channels, sum the per-host
+  // outstanding series and fit its growth over the measurement window.
+  const obs::TimeSeriesSampler& sampler = c.obs().sampler;
+  res.samples = sampler.samples_taken();
+  res.dropped = sampler.samples_dropped();
+  std::vector<double> instants_s;
+  for (const SimTime t : sampler.instants()) {
+    instants_s.push_back(t.to_seconds());
+    res.instants_us.push_back(double(t.ns()) / 1000.0);
+  }
+  std::vector<double> out_sum(instants_s.size(), 0.0);
+  for (const auto& s : sampler.series()) {
+    if (s.name.rfind("openloop.outstanding", 0) == 0) {
+      for (std::size_t i = 0; i < s.values.size() && i < out_sum.size(); ++i) {
+        out_sum[i] += s.values[i];
+      }
+    }
+    if (wants_export(s.name)) {
+      res.series.push_back(
+          {s.name, obs::TimeSeriesSampler::kind_name(s.kind), s.values});
+    }
+  }
+  res.outstanding_slope =
+      window_slope(instants_s, out_sum, t_start.to_seconds(),
+                   (t_start + SimTime::seconds(5)).to_seconds());
+  res.saturated = !res.drained ||
+                  res.measured_ops < 0.9 * res.offered_ops ||
+                  res.outstanding_slope > 0.05 * res.offered_ops;
+
+  res.kernel = bench::kernel_stats(c);
+  res.mem = bench::read_proc_mem();
   return res;
 }
 
+struct Saturation {
+  double saturation_ops_s = 0;   // best completed rate the sweep observed
+  double knee_offered_ops_s = 0; // first offered load flagged saturated
+  bool reached = false;
+};
+
+Saturation detect_saturation(const std::vector<PointResult>& points) {
+  Saturation s;
+  for (const PointResult& r : points) {
+    s.saturation_ops_s = std::max(s.saturation_ops_s, r.measured_ops);
+    if (r.saturated && !s.reached) {
+      s.reached = true;
+      s.knee_offered_ops_s = r.offered_ops;
+    }
+  }
+  return s;
+}
+
 void write_load_json(const std::vector<PointResult>& points,
-                     std::uint32_t clients_total, unsigned nthreads,
-                     bool smoke) {
+                     const Saturation& sat, std::uint32_t clients_total,
+                     unsigned nthreads, bool smoke) {
   std::filesystem::create_directories("bench_out");
   std::ofstream out("bench_out/BENCH_load.json", std::ios::trunc);
   out << "{\n  \"smoke\": " << (smoke ? "true" : "false")
       << ",\n  \"nthreads\": " << nthreads << ",\n  \"hosts\": " << kHosts
       << ",\n  \"shards\": " << kShards
-      << ",\n  \"clients_total\": " << clients_total << ",\n  \"points\": [\n";
+      << ",\n  \"clients_total\": " << clients_total
+      << ",\n  \"saturation_ops_s\": " << sat.saturation_ops_s
+      << ",\n  \"knee_offered_ops_s\": " << sat.knee_offered_ops_s
+      << ",\n  \"saturation_reached\": " << (sat.reached ? "true" : "false")
+      << ",\n  \"points\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const PointResult& r = points[i];
     out << "    {\"offered_ops_per_sec\": " << r.offered_ops
@@ -254,6 +349,8 @@ void write_load_json(const std::vector<PointResult>& points,
         << ", \"peak_outstanding\": " << r.peak_outstanding
         << ", \"drained\": " << (r.drained ? "true" : "false")
         << ", \"outstanding_at_end\": " << r.outstanding_end
+        << ", \"outstanding_slope_ops_s\": " << r.outstanding_slope
+        << ", \"saturated\": " << (r.saturated ? "true" : "false")
         << ", \"sessions_live\": " << r.sessions_live
         << ", \"sessions_peak\": " << r.sessions_peak
         << ", \"pool_frames_in_use\": " << r.pool_in_use
@@ -279,12 +376,56 @@ void write_load_json(const std::vector<PointResult>& points,
                points.size(), clients_total);
 }
 
+// Sweep-shaped redbud.timeseries.v1 artifact: the sampled load-state
+// series per point plus the saturation verdict. The single-run shape
+// (obs::write_timeseries_json) and this one share
+// schemas/timeseries.schema.json.
+void write_sweep_timeseries(const std::vector<PointResult>& points,
+                            const Saturation& sat, SimTime interval) {
+  std::filesystem::create_directories("bench_out");
+  std::ofstream out("bench_out/timeseries.json", std::ios::trunc);
+  out << "{\n  \"schema\": \"redbud.timeseries.v1\",\n  \"interval_us\": "
+      << double(interval.ns()) / 1000.0 << ",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const PointResult& r = points[i];
+    out << "    {\"offered_ops_per_sec\": " << r.offered_ops
+        << ", \"outstanding_slope_ops_s\": " << r.outstanding_slope
+        << ", \"saturated\": " << (r.saturated ? "true" : "false")
+        << ", \"samples\": " << r.samples << ", \"dropped\": " << r.dropped
+        << ",\n     \"instants_us\": [";
+    for (std::size_t k = 0; k < r.instants_us.size(); ++k) {
+      out << (k ? "," : "") << r.instants_us[k];
+    }
+    out << "],\n     \"series\": [\n";
+    for (std::size_t s = 0; s < r.series.size(); ++s) {
+      const PointSeries& ps = r.series[s];
+      out << "       {\"name\": \"" << ps.name << "\", \"kind\": \""
+          << ps.kind << "\", \"values\": [";
+      for (std::size_t k = 0; k < ps.values.size(); ++k) {
+        out << (k ? "," : "") << ps.values[k];
+      }
+      out << "]}" << (s + 1 < r.series.size() ? ",\n" : "\n");
+    }
+    out << "     ]}" << (i + 1 < points.size() ? ",\n" : "\n");
+  }
+  out << "  ],\n  \"saturation\": {\"saturation_ops_s\": "
+      << sat.saturation_ops_s
+      << ", \"knee_offered_ops_s\": " << sat.knee_offered_ops_s
+      << ", \"reached\": " << (sat.reached ? "true" : "false") << "}\n}\n";
+  std::fprintf(stderr, "  timeseries.json: %zu points, knee at %.0f ops/s\n",
+               points.size(), sat.knee_offered_ops_s);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bench::Options cli = bench::Options::parse(argc, argv);
   const std::uint32_t clients_per_host = cli.smoke ? 1250 : 12500;
   const std::uint32_t clients_total = clients_per_host * kHosts;
+  // Sampling is on by default here (the knee detector needs the series);
+  // --sample-interval overrides the grid.
+  const SimTime sample_interval = SimTime::millis_f(
+      cli.sample_interval_ms > 0 ? cli.sample_interval_ms : 25.0);
   // Log-spaced offered loads spanning unsaturated, knee and overload (the
   // 4-spindle array saturates near 2k random 4 KiB commits/s, so the top
   // points exercise the open-loop valve, not just the service curve).
@@ -303,19 +444,38 @@ int main(int argc, char** argv) {
           std::to_string(kHosts) + " hosts, " + std::to_string(kShards) +
           " MDS shards; offered load vs per-class latency");
 
-  std::vector<PointResult> points;
-  bool ok = true;
-  for (const LoadPoint& pt : loads) {
-    std::fprintf(stderr, "  point: %.0f ops/s offered...\n", pt.offered_ops);
-    PointResult r = run_point(pt, clients_per_host, cli.threads);
-    ok = ok && r.ok;
-    points.push_back(r);
+  // One runner thread: points run sequentially so per-point VmRSS/VmHWM
+  // stays attributable, while the kernel accounting still lands in
+  // BENCH_kernel.json rows like every other bench.
+  std::vector<PointResult> points(loads.size());
+  bench::ParallelRunner runner(1);
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const LoadPoint& pt = loads[i];
+    PointResult& slot = points[i];
+    runner.add("offered=" + std::to_string(std::uint64_t(pt.offered_ops)),
+               cli.threads,
+               [&pt, &slot, &cli, clients_per_host,
+                sample_interval]() -> bench::KernelStats {
+                 std::fprintf(stderr, "  point: %.0f ops/s offered...\n",
+                              pt.offered_ops);
+                 slot = run_point(pt, clients_per_host, cli.threads,
+                                  sample_interval);
+                 return slot.kernel;
+               });
   }
-  write_load_json(points, clients_total, cli.threads, cli.smoke);
+  runner.run_all();
+  runner.write_json("load_sweep");
+
+  bool ok = true;
+  for (const PointResult& r : points) ok = ok && r.ok;
+  const Saturation sat = detect_saturation(points);
+  write_load_json(points, sat, clients_total, cli.threads, cli.smoke);
+  write_sweep_timeseries(points, sat, sample_interval);
 
   core::Table table({"offered ops/s", "measured ops/s", "write p50 us",
                      "write p99 us", "fsync p99 us", "create p99 us", "shed",
-                     "drained", "live clients", "VmHWM MiB"});
+                     "drained", "outq slope/s", "saturated", "live clients",
+                     "VmHWM MiB"});
   for (const PointResult& r : points) {
     table.add_row(
         {core::Table::fmt(r.offered_ops, 0), core::Table::fmt(r.measured_ops, 0),
@@ -324,10 +484,19 @@ int main(int argc, char** argv) {
          core::Table::fmt(r.cls[std::size_t(OpClass::kFsync)].p99_us, 0),
          core::Table::fmt(r.cls[std::size_t(OpClass::kCreate)].p99_us, 0),
          std::to_string(r.shed), r.drained ? "yes" : "no",
-         std::to_string(r.sessions_live),
+         core::Table::fmt(r.outstanding_slope, 1),
+         r.saturated ? "yes" : "no", std::to_string(r.sessions_live),
          core::Table::fmt(double(r.mem.vm_hwm_kb) / 1024.0, 0)});
   }
   table.print(std::cout);
+  if (sat.reached) {
+    std::cout << "saturation: knee at " << std::uint64_t(sat.knee_offered_ops_s)
+              << " offered ops/s, capacity ~"
+              << std::uint64_t(sat.saturation_ops_s) << " completed ops/s\n";
+  } else {
+    std::cout << "saturation: not reached (capacity > "
+              << std::uint64_t(sat.saturation_ops_s) << " completed ops/s)\n";
+  }
   std::cout << "sweep: " << (ok ? "OK" : "FAILED") << "\n";
   return ok ? 0 : 1;
 }

@@ -105,11 +105,16 @@ void write_shards_json(const std::vector<Row>& rows) {
 // verify the observability acceptance property: at least one traced
 // update reconstructs as an unbroken span chain
 // (write -> queue wait -> checkout -> compound RPC -> MDS -> journal -> ack).
-int run_traced() {
+int run_traced(const bench::Options& cli) {
   core::print_banner(std::cout, "MDS scaling — traced run (4 shards)",
-                     "span tracing enabled; artifacts in bench_out/");
+                     "span tracing + time-series sampling enabled; "
+                     "artifacts in bench_out/");
   auto params = scaling_testbed(4);
   params.redbud.obs.tracing.enabled = true;
+  // Time-series plane: sample every registered instrument at a 10 ms
+  // stride (or the explicit --sample-interval) into bench_out/timeseries.json.
+  params.redbud.obs.sampling.interval = redbud::sim::SimTime::millis_f(
+      cli.sample_interval_ms > 0 ? cli.sample_interval_ms : 10.0);
   core::Testbed bed(params);
   bed.start();
   FileserverWorkload w(small_file_params());
@@ -121,16 +126,31 @@ int run_traced() {
   core::Cluster& c = *bed.cluster();
   std::filesystem::create_directories("bench_out");
   bool ok = true;
+  const obs::ProcessMem mem = bench::read_proc_mem();
   if (!obs::write_metrics_json(c.obs(), c.sim().now(),
-                               "bench_out/metrics.json")) {
+                               "bench_out/metrics.json", &mem)) {
     std::cerr << "FAILED to write bench_out/metrics.json\n";
     ok = false;
   }
   if (!obs::write_perfetto_json(c.obs().tracer,
-                                "bench_out/mds_scaling.trace.json")) {
+                                "bench_out/mds_scaling.trace.json",
+                                &c.obs().sampler)) {
     std::cerr << "FAILED to write bench_out/mds_scaling.trace.json\n";
     ok = false;
   }
+  if (!obs::write_timeseries_json(c.obs().sampler,
+                                  "bench_out/timeseries.json")) {
+    std::cerr << "FAILED to write bench_out/timeseries.json\n";
+    ok = false;
+  }
+  if (c.obs().sampler.samples_taken() == 0 ||
+      c.obs().sampler.channel_count() == 0) {
+    std::cerr << "NO time-series samples taken\n";
+    ok = false;
+  }
+  std::cout << "time-series samples: " << c.obs().sampler.samples_taken()
+            << " across " << c.obs().sampler.channel_count()
+            << " channels\n";
 
   // Scan the root client-write spans for a fully reconstructable chain.
   // Tail updates whose commits were still queued at shutdown legitimately
@@ -172,7 +192,7 @@ int run_traced() {
 
 int main(int argc, char** argv) {
   const bench::Options cli = bench::Options::parse(argc, argv);
-  if (cli.trace) return run_traced();
+  if (cli.trace) return run_traced(cli);
   // --threads N runs every configuration under the partitioned kernel
   // with N worker threads (default 1 = the serial kernel, byte-identical
   // to the pre-partitioning figures).
@@ -188,7 +208,7 @@ int main(int argc, char** argv) {
     Row& row = rows[i];
     row.nshards = n;
     runner.add("shards/" + std::to_string(n), kthreads,
-               [n, kthreads, &row]() -> std::uint64_t {
+               [n, kthreads, &row]() -> bench::KernelStats {
       FileserverWorkload w(small_file_params());
       core::Testbed bed(scaling_testbed(n, kthreads));
       bed.start();
@@ -232,7 +252,7 @@ int main(int argc, char** argv) {
                                  "mds shard " + std::to_string(s));
         }
       }
-      return bed.events_processed();
+      return bench::kernel_stats(bed);
     });
   }
   runner.run_all();
@@ -250,7 +270,7 @@ int main(int argc, char** argv) {
     bench::ParallelRunner sweep(1);
     for (const unsigned nt : kThreadCounts) {
       sweep.add("shards/8 threads/" + std::to_string(nt), nt,
-                [nt]() -> std::uint64_t {
+                [nt]() -> bench::KernelStats {
                   FileserverWorkload w(small_file_params());
                   core::Testbed bed(scaling_testbed(8, nt));
                   bed.start();
@@ -258,7 +278,7 @@ int main(int argc, char** argv) {
                   opt.warmup = redbud::sim::SimTime::seconds(1);
                   opt.duration = redbud::sim::SimTime::seconds(2);
                   (void)run_workload(bed, w, opt);
-                  return bed.events_processed();
+                  return bench::kernel_stats(bed);
                 });
     }
     sweep.run_all();

@@ -24,12 +24,28 @@
 
 namespace redbud::bench {
 
+// Kernel execution accounting for one configuration, summarised from the
+// SimDomain's KernelProfile (see bench::kernel_stats in common.hpp). A
+// baseline stack with no domain reports events only; profile fields stay
+// zero but are present in every BENCH_kernel.json row.
+struct KernelStats {
+  std::uint64_t events = 0;
+  std::uint64_t rounds = 0;    // partitioned synchronization rounds
+  std::uint64_t busy_ns = 0;   // wall ns executing partition windows
+  std::uint64_t stall_ns = 0;  // wall ns in barrier wake/wait stalls
+  std::uint64_t injections_staged = 0;
+  std::uint64_t injections_delivered = 0;
+  std::uint64_t max_partition_events = 0;  // imbalance numerator
+  std::uint32_t nparts = 1;
+};
+
 struct RunRecord {
   std::string label;
   double wall_s = 0.0;
   std::uint64_t events = 0;
   // Kernel worker threads the configuration ran with (1 = serial kernel).
   unsigned nthreads = 1;
+  KernelStats kernel;
   [[nodiscard]] double events_per_sec() const {
     return wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0;
   }
@@ -46,14 +62,15 @@ class ParallelRunner {
   // Enqueue one configuration. `fn` runs on a worker thread, must build and
   // own everything it touches (results go into caller-preallocated slots —
   // one slot per job, so no synchronisation is needed), and returns the
-  // number of kernel events the configuration processed.
-  void add(std::string label, std::function<std::uint64_t()> fn) {
+  // configuration's kernel accounting (bench::kernel_stats builds it from
+  // a Cluster or Testbed).
+  void add(std::string label, std::function<KernelStats()> fn) {
     jobs_.push_back({std::move(label), 1, std::move(fn)});
   }
   // Same, tagging the record with the kernel thread count the
   // configuration runs its simulation with.
   void add(std::string label, unsigned nthreads,
-           std::function<std::uint64_t()> fn) {
+           std::function<KernelStats()> fn) {
     jobs_.push_back({std::move(label), nthreads, std::move(fn)});
   }
 
@@ -67,14 +84,15 @@ class ParallelRunner {
         const std::size_t i = next.fetch_add(1);
         if (i >= jobs_.size()) return;
         const auto t0 = std::chrono::steady_clock::now();
-        const std::uint64_t events = jobs_[i].fn();
+        const KernelStats stats = jobs_[i].fn();
         const std::chrono::duration<double> dt =
             std::chrono::steady_clock::now() - t0;
         RunRecord& r = records_[i];
         r.label = jobs_[i].label;
         r.wall_s = dt.count();
-        r.events = events;
+        r.events = stats.events;
         r.nthreads = jobs_[i].nthreads;
+        r.kernel = stats;
         std::fprintf(stderr, "  done: %-32s %7.2fs  %6.2fM events/s\n",
                      r.label.c_str(), r.wall_s, r.events_per_sec() / 1e6);
       }
@@ -122,8 +140,15 @@ class ParallelRunner {
       own << "      {\"label\": \"" << r.label << "\", \"wall_s\": " << r.wall_s
           << ", \"events\": " << r.events
           << ", \"events_per_sec\": " << r.events_per_sec()
-          << ", \"nthreads\": " << r.nthreads << "}"
-          << (i + 1 < records_.size() ? ",\n" : "\n");
+          << ", \"nthreads\": " << r.nthreads
+          << ", \"nparts\": " << r.kernel.nparts
+          << ", \"rounds\": " << r.kernel.rounds
+          << ", \"busy_ns\": " << r.kernel.busy_ns
+          << ", \"stall_ns\": " << r.kernel.stall_ns
+          << ", \"injections_staged\": " << r.kernel.injections_staged
+          << ", \"injections_delivered\": " << r.kernel.injections_delivered
+          << ", \"max_partition_events\": " << r.kernel.max_partition_events
+          << "}" << (i + 1 < records_.size() ? ",\n" : "\n");
     }
     own << "    ]\n  }";
 
@@ -151,7 +176,7 @@ class ParallelRunner {
   struct Job {
     std::string label;
     unsigned nthreads = 1;
-    std::function<std::uint64_t()> fn;
+    std::function<KernelStats()> fn;
   };
 
   // Parse the flat `{ "key": { ... }, ... }` object this class writes.

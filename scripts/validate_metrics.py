@@ -4,8 +4,9 @@
 Stdlib-only: implements the small JSON-Schema subset the checked-in
 schemas use (type, enum, required, properties, additionalProperties,
 items, minimum, $ref into #/definitions). CI runs this against the traced
-mds_scaling run's bench_out/metrics.json and the fault matrix's
-bench_out/BENCH_faults.json.
+mds_scaling run's bench_out/metrics.json and timeseries.json, the fault
+matrix's bench_out/BENCH_faults.json, and the load sweep's
+bench_out/BENCH_load.json and timeseries.json.
 
 Usage: validate_metrics.py <schema.json> <artifact.json>
 """
@@ -91,7 +92,19 @@ def main(argv):
     except ValidationError as e:
         print(f"INVALID {argv[2]}: {e}", file=sys.stderr)
         return 1
-    if "cells" in doc:  # fault matrix artifact
+    if doc.get("schema") == "redbud.timeseries.v1":  # sampled time-series
+        if "points" in doc:  # load-sweep shape: one sampled block per point
+            n_series = sum(len(p.get("series", [])) for p in doc["points"])
+            sat = doc.get("saturation", {})
+            knee = (f"knee at {sat['knee_offered_ops_s']:.0f} ops/s"
+                    if sat.get("reached") else "knee not reached")
+            summary = (f"{len(doc['points'])} load points, "
+                       f"{n_series} series, {knee}")
+        else:  # single-run shape
+            summary = (f"{len(doc.get('series', []))} channels x "
+                       f"{len(doc.get('instants_us', []))} samples "
+                       f"({doc.get('dropped', 0)} dropped)")
+    elif "cells" in doc:  # fault matrix artifact
         summary = f"{len(doc['cells'])} matrix cells"
     elif "points" in doc:  # load sweep artifact
         live = max((p["sessions_live"] for p in doc["points"]), default=0)

@@ -124,6 +124,16 @@ Cluster::Cluster(ClusterParams params)
         personality, i));
     clients_.back()->set_obs(&obs_);
   }
+
+  // Time-series plane: install the off-event probe last, once every
+  // component above has registered its instruments. The probe is strictly
+  // passive (see obs/timeseries.hpp) so the event stream is unchanged
+  // whether sampling is on or off.
+  if (obs_.sampler.enabled()) {
+    const redbud::sim::SimTime iv = obs_.sampler.interval();
+    domain_.set_probe(iv, iv, &obs_.sampler,
+                      &obs::TimeSeriesSampler::probe_thunk);
+  }
 }
 
 void Cluster::start() {

@@ -66,7 +66,8 @@ std::string pid_name(const Tracer& tracer, std::uint32_t pid) {
 
 }  // namespace
 
-std::string perfetto_json(const Tracer& tracer) {
+std::string perfetto_json(const Tracer& tracer,
+                          const TimeSeriesSampler* sampler) {
   std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
   bool first = true;
   const auto emit = [&](const std::string& ev) {
@@ -107,20 +108,47 @@ std::string perfetto_json(const Tracer& tracer) {
     ev += "}}";
     emit(ev);
   }
+
+  // Sampled series as counter tracks: one "ph":"C" event per channel per
+  // retained sample, all under a dedicated process group so Perfetto
+  // renders them as stacked counter plots below the span rows.
+  if (sampler != nullptr && sampler->retained() > 0) {
+    emit("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " +
+         std::to_string(kSampledSeriesPid) +
+         ", \"tid\": 0, \"args\": {\"name\": \"sampled series\"}}");
+    const auto instants = sampler->instants();
+    for (const auto& s : sampler->series()) {
+      for (std::size_t i = 0; i < instants.size(); ++i) {
+        emit("{\"name\": \"" + json_escape(s.name) +
+             "\", \"cat\": \"redbud\", \"ph\": \"C\", \"ts\": " +
+             us_fixed(instants[i]) + ", \"pid\": " +
+             std::to_string(kSampledSeriesPid) +
+             ", \"tid\": 0, \"args\": {\"value\": " + fmt_double(s.values[i]) +
+             "}}");
+      }
+    }
+  }
+
   out += "\n]}\n";
   return out;
 }
 
-bool write_perfetto_json(const Tracer& tracer, const std::string& path) {
+bool write_perfetto_json(const Tracer& tracer, const std::string& path,
+                         const TimeSeriesSampler* sampler) {
   std::ofstream f(path, std::ios::trunc);
   if (!f) return false;
-  f << perfetto_json(tracer);
+  f << perfetto_json(tracer, sampler);
   return bool(f);
 }
 
-std::string metrics_json(const Obs& obs, redbud::sim::SimTime now) {
+std::string metrics_json(const Obs& obs, redbud::sim::SimTime now,
+                         const ProcessMem* mem) {
   std::string out = "{\n  \"schema\": \"redbud.metrics.v1\",\n";
   out += "  \"sim_time_s\": " + fmt_double(now.to_seconds(), 6) + ",\n";
+  if (mem != nullptr) {
+    out += "  \"process\": {\"vm_rss_kb\": " + std::to_string(mem->vm_rss_kb) +
+           ", \"vm_hwm_kb\": " + std::to_string(mem->vm_hwm_kb) + "},\n";
+  }
 
   out += "  \"counters\": {";
   bool first = true;
@@ -181,10 +209,51 @@ std::string metrics_json(const Obs& obs, redbud::sim::SimTime now) {
 }
 
 bool write_metrics_json(const Obs& obs, redbud::sim::SimTime now,
-                        const std::string& path) {
+                        const std::string& path, const ProcessMem* mem) {
   std::ofstream f(path, std::ios::trunc);
   if (!f) return false;
-  f << metrics_json(obs, now);
+  f << metrics_json(obs, now, mem);
+  return bool(f);
+}
+
+std::string timeseries_json(const TimeSeriesSampler& sampler) {
+  std::string out = "{\n  \"schema\": \"redbud.timeseries.v1\",\n";
+  out += "  \"interval_us\": " + us_fixed(sampler.interval()) + ",\n";
+  out += "  \"samples\": " + std::to_string(sampler.samples_taken()) + ",\n";
+  out += "  \"dropped\": " + std::to_string(sampler.samples_dropped()) + ",\n";
+  out += "  \"instants_us\": [";
+  bool first = true;
+  for (const auto t : sampler.instants()) {
+    out += first ? "" : ", ";
+    first = false;
+    out += us_fixed(t);
+  }
+  out += "],\n";
+  out += "  \"series\": [";
+  first = true;
+  for (const auto& s : sampler.series()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": \"" + json_escape(s.name) + "\", \"kind\": \"";
+    out += TimeSeriesSampler::kind_name(s.kind);
+    out += "\", \"values\": [";
+    bool fv = true;
+    for (const double v : s.values) {
+      out += fv ? "" : ", ";
+      fv = false;
+      out += fmt_double(v);
+    }
+    out += "]}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool write_timeseries_json(const TimeSeriesSampler& sampler,
+                           const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << timeseries_json(sampler);
   return bool(f);
 }
 

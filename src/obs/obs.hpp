@@ -1,27 +1,33 @@
-// The per-cluster observability bundle: one metrics registry plus one
-// span tracer, threaded through every component of the delayed-commit
-// pipeline. Components accept an `obs::Obs*` (nullptr = fully untracked,
-// the pre-observability behaviour) and a Cluster owns one instance whose
-// lifetime brackets every registered component.
+// The per-cluster observability bundle: one metrics registry, one span
+// tracer and one time-series sampler, threaded through every component of
+// the delayed-commit pipeline. Components accept an `obs::Obs*` (nullptr
+// = fully untracked, the pre-observability behaviour) and a Cluster owns
+// one instance whose lifetime brackets every registered component.
 #pragma once
 
 #include "obs/metrics_registry.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace redbud::obs {
 
 struct ObsParams {
   TracerParams tracing;
+  SamplerParams sampling;
 };
 
 struct Obs {
-  Obs() = default;
-  explicit Obs(const ObsParams& params) : tracer(params.tracing) {}
+  Obs() { sampler.bind(&registry); }
+  explicit Obs(const ObsParams& params)
+      : tracer(params.tracing), sampler(params.sampling) {
+    sampler.bind(&registry);
+  }
   Obs(const Obs&) = delete;
   Obs& operator=(const Obs&) = delete;
 
   MetricsRegistry registry;
   Tracer tracer;
+  TimeSeriesSampler sampler;
 };
 
 }  // namespace redbud::obs

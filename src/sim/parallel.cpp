@@ -17,6 +17,16 @@ void require_failed(const char* what, const char* file, int line) {
 }
 
 namespace {
+
+// Monotonic wall clock for the kernel self-profile. Nanoseconds since an
+// arbitrary epoch; only differences are ever used.
+std::uint64_t wall_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 // Spin politely, then back off to real sleeps: rounds are short (tens of
 // microseconds of real time), but between run_until calls the driver may
 // run long serial phases (consistency checks, exports) and the pool must
@@ -45,6 +55,7 @@ SimDomain::SimDomain(unsigned nthreads, SimTime lookahead,
       force_partitioned_(force_partitioned) {
   REDBUD_REQUIRE(lookahead_ > SimTime::zero(),
                  "domain lookahead must be positive");
+  wstats_.resize(nthreads_);
 }
 
 SimDomain::~SimDomain() {
@@ -62,6 +73,7 @@ Simulation& SimDomain::add_partition() {
   sim->partition_id_ = static_cast<std::uint32_t>(parts_.size());
   parts_.push_back(std::move(sim));
   lanes_.resize(parts_.size());
+  pstats_.resize(parts_.size());
   return *parts_.back();
 }
 
@@ -73,10 +85,13 @@ void SimDomain::post(Simulation& src, std::uint32_t dst, SimTime at,
   if (!parallel()) {
     // One partition, one thread: schedule directly. Staging would hold
     // the callback until the next run_until call, past its due time.
+    ++injections_staged_serial_;
+    ++injections_delivered_;
     parts_[dst]->call_at(at, std::move(fn));
     return;
   }
   Lane& lane = lanes_[src.partition_id()];
+  ++lane.staged_total;
   lane.staged.push_back(
       {at, src.partition_id(), dst, lane.next_seq++, std::move(fn)});
 }
@@ -88,6 +103,7 @@ void SimDomain::deliver_staged() {
     lane.staged.clear();
   }
   if (deliver_buf_.empty()) return;
+  injections_delivered_ += deliver_buf_.size();
   // Total order over injections: (time, src partition, per-source seq).
   // Target-side sequence numbers are assigned in this order, so replay is
   // identical for any worker count.
@@ -110,20 +126,31 @@ void SimDomain::ensure_workers() {
   if (!workers_.empty()) return;
   workers_.reserve(nthreads_ - 1);
   for (unsigned i = 1; i < nthreads_; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
-void SimDomain::work_round() {
+void SimDomain::work_round(unsigned worker) {
+  WorkerStats& ws = wstats_[worker];
   for (;;) {
     const std::uint32_t i =
         next_part_.fetch_add(1, std::memory_order_relaxed);
     if (i >= parts_.size()) return;
-    parts_[i]->run_window(round_end_, round_inclusive_);
+    Simulation& part = *parts_[i];
+    PartStats& ps = pstats_[i];
+    const std::uint64_t before = part.events_processed();
+    const std::uint64_t t0 = detail::wall_now_ns();
+    part.run_window(round_end_, round_inclusive_);
+    const std::uint64_t dt = detail::wall_now_ns() - t0;
+    ps.busy_ns += dt;
+    ps.windows += 1;
+    if (part.events_processed() != before) ps.windows_active += 1;
+    ws.busy_ns += dt;
+    ws.windows_run += 1;
   }
 }
 
-void SimDomain::worker_loop() {
+void SimDomain::worker_loop(unsigned worker) {
   std::uint64_t seen = 0;
   for (;;) {
     detail::Backoff backoff;
@@ -133,7 +160,14 @@ void SimDomain::worker_loop() {
     }
     seen = gen;
     if (quit_.load(std::memory_order_relaxed)) return;
-    work_round();
+    // Wake latency: the coordinator stamped round_start_wall_ns_ right
+    // before the release-increment we just acquired, so the difference is
+    // this worker's barrier-exit stall for the round.
+    const std::uint64_t woke = detail::wall_now_ns();
+    if (woke > round_start_wall_ns_) {
+      wstats_[worker].stall_ns += woke - round_start_wall_ns_;
+    }
+    work_round(worker);
     done_workers_.fetch_add(1, std::memory_order_release);
   }
 }
@@ -143,27 +177,51 @@ void SimDomain::run_round(SimTime end, bool inclusive) {
   round_inclusive_ = inclusive;
   next_part_.store(0, std::memory_order_relaxed);
   done_workers_.store(0, std::memory_order_relaxed);
+  round_start_wall_ns_ = detail::wall_now_ns();
   round_gen_.fetch_add(1, std::memory_order_release);
-  work_round();  // the coordinator participates
+  work_round(0);  // the coordinator participates
   detail::Backoff backoff;
   const auto target = static_cast<std::uint32_t>(workers_.size());
+  const std::uint64_t wait0 = detail::wall_now_ns();
   while (done_workers_.load(std::memory_order_acquire) != target) {
     backoff.pause();
+  }
+  // The coordinator's stall is the tail wait at the closing barrier: how
+  // long the slowest worker kept it idle after its own partitions ran dry.
+  wstats_[0].stall_ns += detail::wall_now_ns() - wait0;
+}
+
+void SimDomain::fire_probes(SimTime upto) {
+  while (probe_next_ <= upto) {
+    const SimTime instant = probe_next_;
+    probe_next_ = probe_next_ + probe_stride_;
+    probe_fn_(probe_ctx_, instant);
   }
 }
 
 void SimDomain::run_until(SimTime t) {
   REDBUD_REQUIRE(!parts_.empty(), "domain has no partitions");
   if (!parallel()) {
+    // Serial delegation still feeds the profile: the whole run is one
+    // worker's busy time, with no rounds and no stalls.
+    const std::uint64_t t0 = detail::wall_now_ns();
     parts_[0]->run_until(t);
+    const std::uint64_t dt = detail::wall_now_ns() - t0;
+    wall_ns_ += dt;
+    wstats_[0].busy_ns += dt;
     return;
   }
   ensure_workers();
+  const std::uint64_t t0 = detail::wall_now_ns();
   for (;;) {
     deliver_staged();
     SimTime m = SimTime::max();
     for (const auto& p : parts_) m = std::min(m, p->peek_next_time());
     if (m > t) break;
+    // All events strictly before m have executed and none at >= m has:
+    // probe grid instants <= m sample here (instant m exactly, earlier
+    // instants with sub-window skew — see set_probe).
+    if (probe_next_ <= m) fire_probes(m);
     // Window [m, m + L), or the inclusive remainder [m, t] when the
     // horizon is nearer than the lookahead. Events at exactly t must run
     // (run_until semantics), and any injection a final-window event posts
@@ -173,8 +231,48 @@ void SimDomain::run_until(SimTime t) {
     } else {
       run_round(m + lookahead_, /*inclusive=*/false);
     }
+    ++rounds_;
   }
+  if (probe_next_ <= t) fire_probes(t);
   for (const auto& p : parts_) p->advance_to(t);
+  wall_ns_ += detail::wall_now_ns() - t0;
+}
+
+void SimDomain::set_probe(SimTime first, SimTime stride, void* ctx,
+                          Simulation::ProbeFn fn) {
+  REDBUD_REQUIRE(!parts_.empty(), "probe on a domain with no partitions");
+  REDBUD_REQUIRE(stride > SimTime::zero(), "probe stride must be positive");
+  if (!parallel()) {
+    parts_[0]->set_probe(first, stride, ctx, fn);
+    return;
+  }
+  probe_next_ = first;
+  probe_stride_ = stride;
+  probe_ctx_ = ctx;
+  probe_fn_ = fn;
+}
+
+KernelProfile SimDomain::kernel_profile() const {
+  KernelProfile kp;
+  kp.rounds = rounds_;
+  kp.wall_ns = wall_ns_;
+  kp.injections_delivered = injections_delivered_;
+  kp.injections_staged = injections_staged_serial_;
+  for (const Lane& lane : lanes_) kp.injections_staged += lane.staged_total;
+  kp.partitions.resize(parts_.size());
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    kp.partitions[i].events = parts_[i]->events_processed();
+    kp.partitions[i].windows = pstats_[i].windows;
+    kp.partitions[i].windows_active = pstats_[i].windows_active;
+    kp.partitions[i].busy_ns = pstats_[i].busy_ns;
+  }
+  kp.workers.resize(wstats_.size());
+  for (std::size_t i = 0; i < wstats_.size(); ++i) {
+    kp.workers[i].busy_ns = wstats_[i].busy_ns;
+    kp.workers[i].stall_ns = wstats_[i].stall_ns;
+    kp.workers[i].windows_run = wstats_[i].windows_run;
+  }
+  return kp;
 }
 
 std::uint64_t SimDomain::events_processed() const {

@@ -33,6 +33,7 @@
 // consistency checks) race-free under TSan.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -54,6 +55,52 @@ namespace detail {
   do {                                                                   \
     if (!(cond)) ::redbud::sim::detail::require_failed(what, __FILE__, __LINE__); \
   } while (0)
+
+// Wall-clock accounting of one SimDomain's execution, read between
+// run_until calls (the barrier's release/acquire pair makes the reads
+// race-free). All wall-clock figures are steady_clock nanoseconds; they
+// describe the host's execution of the simulation, never simulated time,
+// and have no effect on the event stream.
+struct KernelProfile {
+  struct Partition {
+    std::uint64_t events = 0;          // events dispatched by the partition
+    std::uint64_t windows = 0;         // run_window calls issued to it
+    std::uint64_t windows_active = 0;  // windows that dispatched >= 1 event
+    std::uint64_t busy_ns = 0;         // wall time spent inside run_window
+  };
+  struct Worker {
+    std::uint64_t busy_ns = 0;     // wall time executing partition windows
+    std::uint64_t stall_ns = 0;    // barrier wake latency + coordinator wait
+    std::uint64_t windows_run = 0; // partition windows this worker claimed
+  };
+  std::uint64_t rounds = 0;    // synchronization rounds run
+  std::uint64_t wall_ns = 0;   // wall time inside run_until bodies
+  std::uint64_t injections_staged = 0;     // cross-partition posts staged
+  std::uint64_t injections_delivered = 0;  // staged posts delivered to heaps
+  std::vector<Partition> partitions;
+  std::vector<Worker> workers;  // [0] is the coordinator thread
+
+  [[nodiscard]] std::uint64_t events_total() const {
+    std::uint64_t n = 0;
+    for (const auto& p : partitions) n += p.events;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t busy_ns_total() const {
+    std::uint64_t n = 0;
+    for (const auto& w : workers) n += w.busy_ns;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t stall_ns_total() const {
+    std::uint64_t n = 0;
+    for (const auto& w : workers) n += w.stall_ns;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t max_partition_events() const {
+    std::uint64_t n = 0;
+    for (const auto& p : partitions) n = std::max(n, p.events);
+    return n;
+  }
+};
 
 class SimDomain {
  public:
@@ -102,6 +149,27 @@ class SimDomain {
   [[nodiscard]] std::size_t failure_count() const;
   void check_failures() const;
 
+  // ---- Off-event probe (domain form; see Simulation::set_probe) ---------
+  //
+  // Serial domains delegate to the single partition's in-loop probe, so a
+  // grid instant samples exactly the t_k^- state. Parallel domains fire
+  // from the coordinator between synchronization rounds: before a round
+  // starting at min-time m, every pending instant <= m fires — at that
+  // point all events strictly before m have executed in every partition,
+  // and no event at >= m has, so the instant-m sample is exact and earlier
+  // instants lag by less than one window (< lookahead, 40 us of simulated
+  // time). The firing sequence depends only on the deterministic series of
+  // round start times, so samples are bit-identical for any worker count
+  // under force_partitioned. The callback runs on the coordinator thread
+  // while all workers are parked at the barrier.
+  void set_probe(SimTime first, SimTime stride, void* ctx,
+                 Simulation::ProbeFn fn);
+
+  // Kernel self-profile: wall-clock accounting accumulated across every
+  // run_until call so far. Serial domains report one partition and one
+  // worker whose busy time is the whole run (no rounds, no stalls).
+  [[nodiscard]] KernelProfile kernel_profile() const;
+
  private:
   struct Injection {
     SimTime at;
@@ -116,13 +184,28 @@ class SimDomain {
   struct Lane {
     std::vector<Injection> staged;
     std::uint64_t next_seq = 0;
+    std::uint64_t staged_total = 0;  // lifetime count, owner-thread written
+  };
+  // Per-partition profile slice, written only by the worker currently
+  // running the partition; read by the coordinator between rounds.
+  struct PartStats {
+    std::uint64_t windows = 0;
+    std::uint64_t windows_active = 0;
+    std::uint64_t busy_ns = 0;
+  };
+  // Per-worker profile slice (index 0 = coordinator), same ownership rule.
+  struct WorkerStats {
+    std::uint64_t busy_ns = 0;
+    std::uint64_t stall_ns = 0;
+    std::uint64_t windows_run = 0;
   };
 
   void ensure_workers();
   void deliver_staged();
   void run_round(SimTime end, bool inclusive);
-  void work_round();
-  void worker_loop();
+  void work_round(unsigned worker);
+  void worker_loop(unsigned worker);
+  void fire_probes(SimTime upto);
 
   unsigned nthreads_;
   SimTime lookahead_;
@@ -130,6 +213,25 @@ class SimDomain {
   std::vector<std::unique_ptr<Simulation>> parts_;
   std::vector<Lane> lanes_;
   std::vector<Injection> deliver_buf_;
+
+  // Probe state (parallel domains only; serial delegates to partition 0).
+  SimTime probe_next_ = SimTime::max();
+  SimTime probe_stride_ = SimTime::zero();
+  void* probe_ctx_ = nullptr;
+  Simulation::ProbeFn probe_fn_ = nullptr;
+
+  // Profile accumulators. pstats_/wstats_ follow the same ownership
+  // discipline as the partitions themselves; the scalar counters are
+  // coordinator-only.
+  std::vector<PartStats> pstats_;
+  std::vector<WorkerStats> wstats_;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t wall_ns_ = 0;
+  std::uint64_t injections_delivered_ = 0;
+  std::uint64_t injections_staged_serial_ = 0;  // direct posts (serial mode)
+  // Wall-clock stamp taken just before the round_gen_ release-increment;
+  // workers read it after their acquire load to account wake latency.
+  std::uint64_t round_start_wall_ns_ = 0;
 
   // Round control. round_end_/round_inclusive_ are published to workers by
   // the release-increment of round_gen_ and read back under its acquire.

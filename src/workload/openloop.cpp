@@ -103,6 +103,14 @@ Process OpenLoopEngine::creator(std::uint32_t first_client,
   if (--prepared_pending_ == 0) prep_promise_->set_value(Done{});
 }
 
+void OpenLoopEngine::register_metrics(obs::MetricsRegistry& reg,
+                                      std::uint32_t host_id) {
+  const obs::Labels labels = {{"host", std::to_string(host_id)}};
+  reg.register_value("openloop.outstanding", labels, &outstanding_);
+  reg.register_value("openloop.shed", labels, &shed_);
+  reg.register_value("openloop.arrivals", labels, &arrivals_n_);
+}
+
 void OpenLoopEngine::start(const Schedule& schedule) {
   assert(!started_);
   assert(schedule.measure_from <= schedule.measure_until &&

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "client/flyweight.hpp"
+#include "obs/metrics_registry.hpp"
 #include "sim/future.hpp"
 #include "sim/random.hpp"
 #include "sim/stats.hpp"
@@ -101,6 +102,11 @@ class OpenLoopEngine {
   // arrival (manual early-out).
   void start(const Schedule& schedule);
   void stop() { stopped_ = true; }
+
+  // Expose the engine's live load state to the observability plane as
+  // value views (sampled off-event by the TimeSeriesSampler, never read
+  // by sim events). The engine must outlive the registry's consumers.
+  void register_metrics(obs::MetricsRegistry& reg, std::uint32_t host_id);
 
   [[nodiscard]] const OpClassStats& stats(OpClass c) const {
     return stats_[static_cast<std::size_t>(c)];
