@@ -16,6 +16,7 @@
 
 #include "core/metrics.hpp"
 #include "core/testbed.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/export.hpp"
 #include "parallel_runner.hpp"
 #include "sim/stats.hpp"
@@ -105,18 +106,40 @@ inline KernelStats kernel_stats(core::Testbed& bed) {
 
 // Emit the run's observability artifacts into bench_out/: always a
 // `<name>.metrics.json` registry snapshot (with the process memory
-// footprint), plus a `<name>.trace.json` Perfetto trace when the run was
-// traced and a `<name>.timeseries.json` when sampling took samples.
+// footprint), plus — when the run was traced — a `<name>.trace.json`
+// Perfetto trace and a `<name>.blame.json` critical-path attribution
+// (schema redbud.blame.v1), and a `<name>.timeseries.json` when sampling
+// took samples.
 inline void write_obs_artifacts(core::Cluster& cluster, std::string name) {
   for (char& c : name) {
     if (c == '/' || c == ' ') c = '_';
   }
   std::filesystem::create_directories("bench_out");
   const obs::ProcessMem mem = read_proc_mem();
+  // Analyze before the metrics snapshot so chains_open{stage=...} rides
+  // along in metrics.json; the views are unregistered again below because
+  // they point into this stack-local analyzer.
+  const bool traced = cluster.obs().tracer.enabled();
+  obs::CriticalPath blame;
+  if (traced) {
+    blame.analyze(cluster.obs().tracer);
+    blame.register_metrics(&cluster.obs().registry);
+  }
   const std::string metrics = "bench_out/" + name + ".metrics.json";
   if (!obs::write_metrics_json(cluster.obs(), cluster.sim().now(), metrics,
                                &mem)) {
     std::cerr << "warning: failed to write " << metrics << "\n";
+  }
+  if (traced) {
+    const std::string bpath = "bench_out/" + name + ".blame.json";
+    if (!obs::write_blame_json(blame, cluster.sim().now(), bpath,
+                               &cluster.obs().watchdog)) {
+      std::cerr << "warning: failed to write " << bpath << "\n";
+    }
+    for (const char* s : {"queued", "in_flight", "unlinked"}) {
+      cluster.obs().registry.unregister(std::string("chains_open{stage=") + s +
+                                        "}");
+    }
   }
   const bool sampled = cluster.obs().sampler.samples_taken() > 0;
   if (cluster.obs().tracer.enabled() || sampled) {

@@ -41,6 +41,7 @@
 #include "common.hpp"
 #include "core/cluster.hpp"
 #include "core/metrics.hpp"
+#include "obs/watchdog.hpp"
 #include "parallel_runner.hpp"
 #include "sim/random.hpp"
 #include "workload/openloop.hpp"
@@ -133,25 +134,9 @@ bool wants_export(const std::string& name) {
   return false;
 }
 
-// Least-squares slope of y over x, both restricted to [from, until].
-double window_slope(const std::vector<double>& x_s,
-                    const std::vector<double>& y, double from_s,
-                    double until_s) {
-  double n = 0, sx = 0, sy = 0, sxx = 0, sxy = 0;
-  for (std::size_t i = 0; i < x_s.size() && i < y.size(); ++i) {
-    if (x_s[i] < from_s || x_s[i] > until_s) continue;
-    n += 1;
-    sx += x_s[i];
-    sy += y[i];
-    sxx += x_s[i] * x_s[i];
-    sxy += x_s[i] * y[i];
-  }
-  const double det = n * sxx - sx * sx;
-  return (n >= 2 && det > 0) ? (n * sxy - sx * sy) / det : 0.0;
-}
-
 PointResult run_point(const LoadPoint& pt, std::uint32_t clients_per_host,
-                      unsigned nthreads, SimTime sample_interval) {
+                      unsigned nthreads, SimTime sample_interval,
+                      bool trace) {
   const double offered_ops = pt.offered_ops;
   PointResult res;
   res.offered_ops = offered_ops;
@@ -169,6 +154,9 @@ PointResult run_point(const LoadPoint& pt, std::uint32_t clients_per_host,
   p.journal.region_blocks = 1 << 16;
   p.client.cache_pages = 1 << 14;
   p.obs.sampling.interval = sample_interval;
+  // --trace / REDBUD_TRACE: span-trace the point and attribute its e2e
+  // latency per pipeline stage into a per-point blame artifact below.
+  p.obs.tracing.enabled = trace;
   auto cluster = std::make_unique<Cluster>(p);
 
   std::vector<std::unique_ptr<ClientHost>> hosts;
@@ -297,15 +285,37 @@ PointResult run_point(const LoadPoint& pt, std::uint32_t clients_per_host,
           {s.name, obs::TimeSeriesSampler::kind_name(s.kind), s.values});
     }
   }
+  // Saturation slope via the shared obs::window_slope — the same fit the
+  // online watchdog's backlog detector runs, so bench and online path
+  // cannot drift.
   res.outstanding_slope =
-      window_slope(instants_s, out_sum, t_start.to_seconds(),
-                   (t_start + SimTime::seconds(5)).to_seconds());
+      obs::window_slope(instants_s, out_sum, t_start.to_seconds(),
+                        (t_start + SimTime::seconds(5)).to_seconds());
   res.saturated = !res.drained ||
                   res.measured_ops < 0.9 * res.offered_ops ||
                   res.outstanding_slope > 0.05 * res.offered_ops;
 
   res.kernel = bench::kernel_stats(c);
   res.mem = bench::read_proc_mem();
+
+  // Traced points decompose where the (often multi-second) op latency
+  // lives — the knee point's table is quoted in EXPERIMENTS.md "where
+  // the p99 lives".
+  if (c.obs().tracer.enabled()) {
+    obs::CriticalPath blame;
+    blame.analyze(c.obs().tracer);
+    std::filesystem::create_directories("bench_out");
+    const std::string path = "bench_out/load_sweep_offered" +
+                             std::to_string(std::uint64_t(offered_ops)) +
+                             ".blame.json";
+    if (!obs::write_blame_json(blame, c.now(), path, &c.obs().watchdog)) {
+      std::fprintf(stderr, "    warning: failed to write %s\n", path.c_str());
+    }
+    std::fprintf(stderr,
+                 "    blame: %llu/%llu chains complete -> %s\n",
+                 static_cast<unsigned long long>(blame.completed()),
+                 static_cast<unsigned long long>(blame.roots()), path.c_str());
+  }
   return res;
 }
 
@@ -459,7 +469,8 @@ int main(int argc, char** argv) {
                  std::fprintf(stderr, "  point: %.0f ops/s offered...\n",
                               pt.offered_ops);
                  slot = run_point(pt, clients_per_host, cli.threads,
-                                  sample_interval);
+                                  sample_interval,
+                                  cli.obs().tracing.enabled);
                  return slot.kernel;
                });
   }

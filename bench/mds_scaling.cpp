@@ -126,10 +126,21 @@ int run_traced(const bench::Options& cli) {
   core::Cluster& c = *bed.cluster();
   std::filesystem::create_directories("bench_out");
   bool ok = true;
+  // Critical-path blame: analyze before the metrics snapshot so the
+  // chains_open{stage=...} accounting rides along in metrics.json.
+  obs::CriticalPath blame;
+  blame.analyze(c.obs().tracer);
+  blame.register_metrics(&c.obs().registry);
   const obs::ProcessMem mem = bench::read_proc_mem();
   if (!obs::write_metrics_json(c.obs(), c.sim().now(),
                                "bench_out/metrics.json", &mem)) {
     std::cerr << "FAILED to write bench_out/metrics.json\n";
+    ok = false;
+  }
+  if (!obs::write_blame_json(blame, c.sim().now(),
+                             "bench_out/latency_blame.json",
+                             &c.obs().watchdog)) {
+    std::cerr << "FAILED to write bench_out/latency_blame.json\n";
     ok = false;
   }
   if (!obs::write_perfetto_json(c.obs().tracer,
@@ -183,6 +194,35 @@ int run_traced(const bench::Options& cli) {
   } else {
     std::cerr << "NO unbroken write->journal->ack chain reconstructed\n";
     ok = false;
+  }
+
+  // Blame acceptance: the open-chain accounting must close (every write
+  // root is completed or classified open at a known stage) and at least
+  // one chain must have been fully attributed.
+  if (blame.roots() != blame.completed() + blame.open_total()) {
+    std::cerr << "BLAME accounting broken: roots=" << blame.roots()
+              << " != completed=" << blame.completed()
+              << " + open=" << blame.open_total() << "\n";
+    ok = false;
+  }
+  if (blame.completed() == 0) {
+    std::cerr << "NO completed chains attributed\n";
+    ok = false;
+  }
+  std::cout << "critical-path blame: " << blame.completed() << "/"
+            << blame.roots() << " chains completed (open: queued "
+            << blame.open(obs::OpenStage::kQueued) << ", in-flight "
+            << blame.open(obs::OpenStage::kInFlight) << ", unlinked "
+            << blame.open(obs::OpenStage::kUnlinked) << ")\n";
+  const double total_ns = double(blame.total().total_ns);
+  for (std::size_t i = 0; i < obs::kBlameStageCount; ++i) {
+    const auto s = obs::BlameStage(i);
+    const auto& agg = blame.stage(s);
+    std::printf("  %-16s %-9s share %5.1f%%  p99 %10.1f us\n",
+                obs::blame_stage_name(s),
+                obs::blame_is_queueing(s) ? "queueing" : "service",
+                total_ns > 0 ? 100.0 * double(agg.total_ns) / total_ns : 0.0,
+                agg.hist.percentile(99).to_micros());
   }
   std::cout << "traced run: " << (ok ? "OK" : "FAILED") << "\n";
   return ok ? 0 : 1;

@@ -104,8 +104,21 @@ def main(argv):
             summary = (f"{len(doc.get('series', []))} channels x "
                        f"{len(doc.get('instants_us', []))} samples "
                        f"({doc.get('dropped', 0)} dropped)")
+    elif doc.get("schema") == "redbud.blame.v1":  # critical-path blame
+        chains = doc.get("chains", {})
+        open_total = sum(chains.get("open", {}).values())
+        top = max(doc.get("stages", []), key=lambda s: s.get("share", 0),
+                  default={})
+        raised = len(doc.get("incidents", []))
+        summary = (f"{chains.get('completed', 0)}/{chains.get('roots', 0)} "
+                   f"chains complete ({open_total} open), top stage "
+                   f"{top.get('stage', '?')} at "
+                   f"{100.0 * top.get('share', 0.0):.1f}%, "
+                   f"{raised} incidents")
     elif "cells" in doc:  # fault matrix artifact
-        summary = f"{len(doc['cells'])} matrix cells"
+        covered = sum(1 for c in doc["cells"] if c.get("incidents_covered"))
+        summary = (f"{len(doc['cells'])} matrix cells, "
+                   f"{covered} incident-covered")
     elif "points" in doc:  # load sweep artifact
         live = max((p["sessions_live"] for p in doc["points"]), default=0)
         summary = (f"{len(doc['points'])} load points, "

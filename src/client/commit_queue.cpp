@@ -32,8 +32,19 @@ void CommitQueue::set_obs(obs::Obs* obs, std::uint32_t client_id) {
   obs->registry.register_value("commit_queue.enqueued", labels, &enqueued_);
   obs->registry.register_value("commit_queue.merged", labels, &merged_);
   obs->registry.register_value("commit_queue.committed", labels, &committed_);
+  obs->registry.register_value("commit_queue.depth", labels, &depth_);
+  obs->registry.register_value("commit_queue.oldest_enqueued_us", labels,
+                               &oldest_enqueued_us_);
   obs->registry.register_histogram("commit_queue.latency", labels,
                                    &commit_latency_);
+}
+
+void CommitQueue::refresh_state() {
+  depth_ = order_.size();
+  oldest_enqueued_us_ =
+      order_.empty()
+          ? 0
+          : std::uint64_t(queued_.at(order_.front()).enqueued_at.ns() / 1000);
 }
 
 void CommitQueue::add(net::FileId file, std::vector<net::Extent> extents,
@@ -68,6 +79,7 @@ void CommitQueue::add(net::FileId file, std::vector<net::Extent> extents,
     // task's checkout/RPC spans but retains per-update queue-wait/e2e.
     if (ctx.active()) task.traces.push_back({ctx, sim_->now()});
   }
+  refresh_state();
   work_.notify_all();
 }
 
@@ -95,6 +107,7 @@ void CommitQueue::drop(net::FileId file) {
   slab_->recycle(std::move(it->second));
   queued_.erase(it);
   order_.erase(std::remove(order_.begin(), order_.end(), file), order_.end());
+  refresh_state();
   space_.notify_all();
 }
 
@@ -140,6 +153,7 @@ std::vector<CommitTask> CommitQueue::checkout(std::size_t max) {
       ++it;
     }
   }
+  refresh_state();
   if (!out.empty()) space_.notify_all();
   return out;
 }
@@ -210,6 +224,7 @@ void CommitQueue::requeue(CommitTask task) {
     for (auto& t : task.traces) q.traces.push_back(t);
     slab_->recycle(std::move(task));
   }
+  refresh_state();
   work_.notify_all();
 }
 

@@ -138,6 +138,12 @@ class CommitQueue {
   std::size_t in_flight_count_ = 0;
   redbud::sim::Signal work_;
   redbud::sim::Signal space_;
+  // Queue-state views for the registry: current depth and the enqueue
+  // instant (microseconds, 0 = empty) of the oldest queued entry. The
+  // watchdog's commit-stall detector turns the latter into an age.
+  void refresh_state();
+  std::uint64_t depth_ = 0;
+  std::uint64_t oldest_enqueued_us_ = 0;
   std::uint64_t enqueued_ = 0;
   std::uint64_t merged_ = 0;
   std::uint64_t committed_ = 0;

@@ -125,14 +125,28 @@ Cluster::Cluster(ClusterParams params)
     clients_.back()->set_obs(&obs_);
   }
 
+  // Cluster-level fault accounting, readable by the watchdog's
+  // failover-stall detector (crashes that no completed failover answers).
+  obs_.registry.register_value("cluster.shard_crashes", {}, &crashes_);
+  obs_.registry.register_value("cluster.failovers", {}, &failovers_);
+  obs_.registry.register_histogram("cluster.failover_time", {},
+                                   &failover_time_);
+  // Per-node fabric drop counters: the only series that separates an
+  // injected lossy link from ordinary retry noise (a loss-free run
+  // retransmits on the 5 ms first-retry timeout yet never drops a frame),
+  // so the watchdog's retry-storm detector reads these.
+  network_->register_metrics(obs_.registry);
+
   // Time-series plane: install the off-event probe last, once every
-  // component above has registered its instruments. The probe is strictly
-  // passive (see obs/timeseries.hpp) so the event stream is unchanged
-  // whether sampling is on or off.
+  // component above has registered its instruments. The probe drives the
+  // sampler and the incident watchdog off one grid and is strictly
+  // passive (see obs/timeseries.hpp, obs/watchdog.hpp) so the event
+  // stream is unchanged whether either is on or off. Detectors armed
+  // after construction ride the same probe: the thunk re-checks
+  // watchdog.enabled() at every grid instant.
   if (obs_.sampler.enabled()) {
     const redbud::sim::SimTime iv = obs_.sampler.interval();
-    domain_.set_probe(iv, iv, &obs_.sampler,
-                      &obs::TimeSeriesSampler::probe_thunk);
+    domain_.set_probe(iv, iv, &obs_, &obs::Obs::probe_thunk);
   }
 }
 

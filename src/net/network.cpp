@@ -1,7 +1,10 @@
 #include "net/network.hpp"
 
 #include <cassert>
+#include <string>
 #include <utility>
+
+#include "obs/metrics_registry.hpp"
 
 namespace redbud::net {
 
@@ -50,6 +53,13 @@ void Network::set_link_loss(NodeId n, double loss_rate) {
 void Network::set_link_delay(NodeId n, SimTime extra) {
   assert(n < nodes_.size());
   nodes_[n]->extra_delay = extra;
+}
+
+void Network::register_metrics(redbud::obs::MetricsRegistry& registry) const {
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    registry.register_value("net.frames_dropped", {{"node", std::to_string(n)}},
+                            &nodes_[n]->dropped);
+  }
 }
 
 void Network::register_endpoint(NodeId n, RpcEndpoint* ep) {

@@ -26,6 +26,10 @@
 #include "sim/random.hpp"
 #include "sim/simulation.hpp"
 
+namespace redbud::obs {
+class MetricsRegistry;
+}  // namespace redbud::obs
+
 namespace redbud::net {
 
 using NodeId = std::uint32_t;
@@ -130,6 +134,12 @@ class Network {
   [[nodiscard]] std::uint64_t messages_dropped() const {
     return drops_.load(std::memory_order_relaxed);
   }
+  // Register every node's frame-drop counter as
+  // net.frames_dropped{node=N}. Each counter is a plain value written
+  // only from the node's owning partition, so sampling it at a barrier
+  // instant is race-free — the same argument as the per-client RPC
+  // counters. Call once all nodes have been added.
+  void register_metrics(redbud::obs::MetricsRegistry& registry) const;
   // Round-trip floor of the fabric: the least time a request + reply pair
   // can take. Retry timeouts below this could never observe a reply.
   [[nodiscard]] redbud::sim::SimTime min_rtt() const {

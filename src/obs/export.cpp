@@ -1,46 +1,14 @@
 #include "obs/export.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <fstream>
+#include <map>
+
+#include "obs/json_fmt.hpp"
 
 namespace redbud::obs {
 
 namespace {
-
-// Deterministic fixed-point microsecond rendering of a SimTime.
-std::string us_fixed(redbud::sim::SimTime t) {
-  char buf[48];
-  std::snprintf(buf, sizeof buf, "%.3f", t.to_micros());
-  return buf;
-}
-
-std::string fmt_double(double v, int precision = 3) {
-  char buf[48];
-  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
-  return buf;
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out += c;
-    }
-  }
-  return out;
-}
 
 void append_histogram_json(std::string& out,
                            const redbud::sim::LatencyHistogram& h) {
@@ -107,6 +75,33 @@ std::string perfetto_json(const Tracer& tracer,
     ev += ", \"arg1\": " + std::to_string(s.arg1);
     ev += "}}";
     emit(ev);
+  }
+
+  // Flow annotations for batch attribution: every commit-e2e span whose
+  // arg1 resolves to a checkout-batch span gets an s/f flow pair, so the
+  // Perfetto UI draws an arrow from the per-update chain into the batch
+  // that carried it (dedup merges and riders converge on one batch).
+  {
+    std::map<std::uint64_t, const SpanRecord*> batches;
+    for (const SpanRecord& s : tracer.spans()) {
+      if (s.stage == Stage::kCheckoutBatch) batches[s.span] = &s;
+    }
+    for (const SpanRecord& s : tracer.spans()) {
+      if (s.stage != Stage::kCommitE2e) continue;
+      const auto it = batches.find(s.arg1);
+      if (it == batches.end()) continue;
+      const SpanRecord& b = *it->second;
+      emit("{\"name\": \"commit_link\", \"cat\": \"redbud\", \"ph\": \"s\", "
+           "\"id\": " +
+           std::to_string(s.span) + ", \"ts\": " + us_fixed(s.start) +
+           ", \"pid\": " + std::to_string(s.track.pid) +
+           ", \"tid\": " + std::to_string(s.track.tid) + "}");
+      emit("{\"name\": \"commit_link\", \"cat\": \"redbud\", \"ph\": \"f\", "
+           "\"bp\": \"e\", \"id\": " +
+           std::to_string(s.span) + ", \"ts\": " + us_fixed(b.start) +
+           ", \"pid\": " + std::to_string(b.track.pid) +
+           ", \"tid\": " + std::to_string(b.track.tid) + "}");
+    }
   }
 
   // Sampled series as counter tracks: one "ph":"C" event per channel per

@@ -1,0 +1,47 @@
+// Deterministic JSON formatting helpers shared by the obs exporters
+// (export.cpp, critical_path.cpp). All rendering is fixed-point via
+// snprintf so artifacts are byte-identical across platforms and runs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace redbud::obs {
+
+// Deterministic fixed-point microsecond rendering of a SimTime.
+inline std::string us_fixed(redbud::sim::SimTime t) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3f", t.to_micros());
+  return buf;
+}
+
+inline std::string fmt_double(double v, int precision = 3) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace redbud::obs

@@ -1,6 +1,9 @@
 #include "obs/metrics_registry.hpp"
 
 #include <algorithm>
+#include <cstdio>
+
+#include "sim/parallel.hpp"
 
 namespace redbud::obs {
 
@@ -25,25 +28,53 @@ std::string MetricsRegistry::base_name(const std::string& canonical) {
   return brace == std::string::npos ? canonical : canonical.substr(0, brace);
 }
 
+void MetricsRegistry::require_fresh(const std::string& canonical) const {
+  // The export merges counters and raw values into one JSON object, so a
+  // duplicate identity in *any* kind map would silently shadow a column.
+  const bool taken =
+      counters_.count(canonical) > 0 || values_.count(canonical) > 0 ||
+      gauges_.count(canonical) > 0 || histograms_.count(canonical) > 0;
+  if (taken) {
+    std::fprintf(stderr, "duplicate metric registration: %s\n",
+                 canonical.c_str());
+    REDBUD_REQUIRE(false, "duplicate metric registration");
+  }
+}
+
+void MetricsRegistry::unregister(const std::string& canonical) {
+  counters_.erase(canonical);
+  values_.erase(canonical);
+  gauges_.erase(canonical);
+  histograms_.erase(canonical);
+}
+
 void MetricsRegistry::register_counter(const std::string& name, Labels labels,
                                        const redbud::sim::Counter* c) {
-  counters_[canonical_metric_name(name, std::move(labels))] = c;
+  auto canonical = canonical_metric_name(name, std::move(labels));
+  require_fresh(canonical);
+  counters_[std::move(canonical)] = c;
 }
 
 void MetricsRegistry::register_value(const std::string& name, Labels labels,
                                      const std::uint64_t* v) {
-  values_[canonical_metric_name(name, std::move(labels))] = v;
+  auto canonical = canonical_metric_name(name, std::move(labels));
+  require_fresh(canonical);
+  values_[std::move(canonical)] = v;
 }
 
 void MetricsRegistry::register_gauge(const std::string& name, Labels labels,
                                      const redbud::sim::Gauge* g) {
-  gauges_[canonical_metric_name(name, std::move(labels))] = g;
+  auto canonical = canonical_metric_name(name, std::move(labels));
+  require_fresh(canonical);
+  gauges_[std::move(canonical)] = g;
 }
 
 void MetricsRegistry::register_histogram(
     const std::string& name, Labels labels,
     const redbud::sim::LatencyHistogram* h) {
-  histograms_[canonical_metric_name(name, std::move(labels))] = h;
+  auto canonical = canonical_metric_name(name, std::move(labels));
+  require_fresh(canonical);
+  histograms_[std::move(canonical)] = h;
 }
 
 std::optional<std::uint64_t> MetricsRegistry::value(

@@ -41,8 +41,10 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  // Registration (construction-time). Re-registering the same canonical
-  // identity replaces the view — a rebuilt component wins.
+  // Registration (construction-time). A duplicate canonical identity is
+  // refused loudly (REDBUD_REQUIRE): a silent replace would shadow one
+  // component's view in every export and sampled series. A component that
+  // legitimately rebuilds must unregister() its old identity first.
   void register_counter(const std::string& name, Labels labels,
                         const redbud::sim::Counter* c);
   void register_value(const std::string& name, Labels labels,
@@ -51,6 +53,10 @@ class MetricsRegistry {
                       const redbud::sim::Gauge* g);
   void register_histogram(const std::string& name, Labels labels,
                           const redbud::sim::LatencyHistogram* h);
+
+  // Remove a canonical identity from every kind map (no-op when absent).
+  // The sanctioned path for re-registration after a component rebuild.
+  void unregister(const std::string& canonical);
 
   // Reads by canonical name. value() resolves both counter kinds.
   [[nodiscard]] std::optional<std::uint64_t> value(
@@ -90,6 +96,8 @@ class MetricsRegistry {
  private:
   // Base metric name of a canonical identity (strip the label block).
   [[nodiscard]] static std::string base_name(const std::string& canonical);
+  // Abort (REDBUD_REQUIRE) when `canonical` is already registered.
+  void require_fresh(const std::string& canonical) const;
 
   std::map<std::string, const redbud::sim::Counter*> counters_;
   std::map<std::string, const std::uint64_t*> values_;

@@ -1,13 +1,15 @@
 // The per-cluster observability bundle: one metrics registry, one span
-// tracer and one time-series sampler, threaded through every component of
-// the delayed-commit pipeline. Components accept an `obs::Obs*` (nullptr
-// = fully untracked, the pre-observability behaviour) and a Cluster owns
-// one instance whose lifetime brackets every registered component.
+// tracer, one time-series sampler and one incident watchdog, threaded
+// through every component of the delayed-commit pipeline. Components
+// accept an `obs::Obs*` (nullptr = fully untracked, the
+// pre-observability behaviour) and a Cluster owns one instance whose
+// lifetime brackets every registered component.
 #pragma once
 
 #include "obs/metrics_registry.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 
 namespace redbud::obs {
 
@@ -17,17 +19,31 @@ struct ObsParams {
 };
 
 struct Obs {
-  Obs() { sampler.bind(&registry); }
+  Obs() {
+    sampler.bind(&registry);
+    watchdog.bind(&registry);
+  }
   explicit Obs(const ObsParams& params)
       : tracer(params.tracing), sampler(params.sampling) {
     sampler.bind(&registry);
+    watchdog.bind(&registry);
   }
   Obs(const Obs&) = delete;
   Obs& operator=(const Obs&) = delete;
 
+  // Combined kernel-probe trampoline: one off-event grid drives both the
+  // sampler and the watchdog, so incidents are evaluated at exactly the
+  // instants the series they read were sampled. `ctx` is the Obs bundle.
+  static void probe_thunk(void* ctx, redbud::sim::SimTime instant) {
+    auto* obs = static_cast<Obs*>(ctx);
+    if (obs->sampler.enabled()) obs->sampler.sample(instant);
+    if (obs->watchdog.enabled()) obs->watchdog.tick(instant);
+  }
+
   MetricsRegistry registry;
   Tracer tracer;
   TimeSeriesSampler sampler;
+  Watchdog watchdog;
 };
 
 }  // namespace redbud::obs

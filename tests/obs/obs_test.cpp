@@ -212,13 +212,32 @@ TEST(Registry, CardinalityCountsLabelSetsAndSumAggregates) {
   EXPECT_FALSE(reg.value("commit_queue.enqueued").has_value());
 }
 
-TEST(Registry, ReRegistrationReplacesTheView) {
+TEST(Registry, DuplicateRegistrationIsRefused) {
+  // A silent replace used to shadow one component's view in every export;
+  // a duplicate identity now trips REDBUD_REQUIRE across all kind maps.
+  MetricsRegistry reg;
+  std::uint64_t first = 1, rebuilt = 100;
+  redbud::sim::LatencyHistogram h;
+  reg.register_value("mds.ops", {{"shard", "0"}}, &first);
+  EXPECT_DEATH(reg.register_value("mds.ops", {{"shard", "0"}}, &rebuilt),
+               "duplicate metric registration");
+  // Cross-kind duplicates are refused too: counters and values share one
+  // JSON object in the export.
+  EXPECT_DEATH(reg.register_histogram("mds.ops", {{"shard", "0"}}, &h),
+               "duplicate metric registration");
+}
+
+TEST(Registry, UnregisterIsTheSanctionedRebuildPath) {
   MetricsRegistry reg;
   std::uint64_t first = 1, rebuilt = 100;
   reg.register_value("mds.ops", {{"shard", "0"}}, &first);
+  reg.unregister("mds.ops{shard=0}");
+  EXPECT_EQ(reg.cardinality("mds.ops"), 0u);
   reg.register_value("mds.ops", {{"shard", "0"}}, &rebuilt);
   EXPECT_EQ(reg.cardinality("mds.ops"), 1u);
   EXPECT_EQ(reg.value("mds.ops{shard=0}"), 100u);
+  // Unregistering an unknown identity is a harmless no-op.
+  reg.unregister("nope{x=1}");
 }
 
 // --- Chain reconstruction ------------------------------------------------

@@ -180,10 +180,12 @@ TEST(TimeSeriesSampler, ChannelSetFreezesButNamesReResolve) {
   sampler.sample(SimTime::millis(2));
   EXPECT_EQ(sampler.channel_count(), 1u);
 
-  // Re-registering the same canonical name (rebuild/failover) transparently
-  // feeds the same column.
+  // Re-registering the same canonical name (rebuild/failover, via the
+  // unregister escape — duplicates are refused) transparently feeds the
+  // same column.
   Counter rebuilt;
   rebuilt.add(42);
+  reg.unregister("a");
   reg.register_counter("a", {}, &rebuilt);
   sampler.sample(SimTime::millis(3));
   const auto series = sampler.series();
